@@ -1,0 +1,20 @@
+//! Regenerates Fig. 10: QAOA-REG-3 application performance (normalised cost
+//! ⟨C⟩/C_min) on the IBMQ Montreal device for 1–3 QAOA layers, comparing the
+//! circuits compiled by every compiler under the calibrated noise model.
+//!
+//! Usage: `cargo run --release -p twoqan-bench --bin fig10_qaoa_fidelity [--quick]`
+
+use twoqan_bench::figures::{quick_mode, report_fidelity, run_qaoa_fidelity};
+
+fn main() {
+    let quick = quick_mode();
+    let sizes: Vec<usize> = if quick {
+        vec![4, 8, 12, 16]
+    } else {
+        (4..=22).step_by(2).collect()
+    };
+    let instances = if quick { 2 } else { 5 };
+    let layers = [1usize, 2, 3];
+    let rows = run_qaoa_fidelity(&sizes, instances, &layers);
+    report_fidelity("fig10", &rows);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 13 (appendix): compilation metrics of 3-layer
+//! QAOA-REG-3 circuits on the IBMQ Montreal device.  The baselines compile
+//! the full 3-layer circuit; 2QAN compiles the first layer and replicates
+//! it, so its overhead is exactly three times the single-layer overhead.
+//!
+//! Usage: `cargo run --release -p twoqan-bench --bin fig13_qaoa_3layer [--quick]`
+
+use twoqan_bench::figures::{quick_mode, report_figure, run_fig13};
+use twoqan_device::Device;
+
+fn main() {
+    let rows = run_fig13(quick_mode());
+    report_figure("fig13", &Device::montreal(), &rows);
+}

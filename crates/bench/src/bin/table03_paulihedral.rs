@@ -1,0 +1,11 @@
+//! Regenerates Table III: circuit-size comparison between the
+//! Paulihedral-style compiler and 2QAN on 30-qubit Heisenberg lattices
+//! (all-to-all connectivity) and 20-qubit dense QAOA problems on Montreal.
+//!
+//! Usage: `cargo run --release -p twoqan-bench --bin table03_paulihedral`
+
+use twoqan_bench::figures::run_table3;
+
+fn main() {
+    run_table3().print();
+}

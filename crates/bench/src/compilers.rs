@@ -1,0 +1,249 @@
+//! A uniform interface over 2QAN and the baseline compilers.
+
+use twoqan::{TwoQanCompiler, TwoQanConfig};
+use twoqan_baselines::{GenericCompiler, IcQaoaCompiler, NoMapCompiler, PaulihedralCompiler};
+use twoqan_circuit::{Circuit, HardwareMetrics, ScheduledCircuit};
+use twoqan_device::Device;
+
+/// The compilers compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilerKind {
+    /// The paper's compiler.
+    TwoQan,
+    /// The t|ket⟩-like order-respecting baseline.
+    TketLike,
+    /// The Qiskit-like order-respecting baseline.
+    QiskitLike,
+    /// The IC-QAOA-like commutation-aware baseline.
+    IcQaoa,
+    /// The Paulihedral-like block-ordered baseline.
+    Paulihedral,
+    /// The connectivity-unconstrained reference.
+    NoMap,
+}
+
+impl CompilerKind {
+    /// The compiler set used for the Hamiltonian-model figures.
+    pub const GENERAL: [CompilerKind; 4] = [
+        CompilerKind::NoMap,
+        CompilerKind::QiskitLike,
+        CompilerKind::TketLike,
+        CompilerKind::TwoQan,
+    ];
+
+    /// The compiler set used for the QAOA figures on Montreal (adds
+    /// IC-QAOA, as in Fig. 9j–l and Fig. 10).
+    pub const QAOA: [CompilerKind; 5] = [
+        CompilerKind::NoMap,
+        CompilerKind::QiskitLike,
+        CompilerKind::TketLike,
+        CompilerKind::IcQaoa,
+        CompilerKind::TwoQan,
+    ];
+
+    /// Display name used in tables and CSV files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompilerKind::TwoQan => "2QAN",
+            CompilerKind::TketLike => "tket-like",
+            CompilerKind::QiskitLike => "Qiskit-like",
+            CompilerKind::IcQaoa => "IC-QAOA",
+            CompilerKind::Paulihedral => "Paulihedral-like",
+            CompilerKind::NoMap => "NoMap",
+        }
+    }
+
+    /// Compiles `circuit` for `device` and returns the scheduled hardware
+    /// circuit together with its metrics for the device's default basis.
+    pub fn compile(&self, circuit: &Circuit, device: &Device) -> (ScheduledCircuit, HardwareMetrics) {
+        match self {
+            CompilerKind::TwoQan => {
+                let result = TwoQanCompiler::new(TwoQanConfig::default())
+                    .compile(circuit, device)
+                    .expect("benchmark circuits fit on their devices");
+                (result.hardware_circuit, result.metrics)
+            }
+            CompilerKind::TketLike => {
+                let r = GenericCompiler::tket_like().compile(circuit, device);
+                (r.hardware_circuit, r.metrics)
+            }
+            CompilerKind::QiskitLike => {
+                let r = GenericCompiler::qiskit_like().compile(circuit, device);
+                (r.hardware_circuit, r.metrics)
+            }
+            CompilerKind::IcQaoa => {
+                let r = IcQaoaCompiler::default().compile(circuit, device);
+                (r.hardware_circuit, r.metrics)
+            }
+            CompilerKind::Paulihedral => {
+                let r = PaulihedralCompiler::new().compile(circuit, device);
+                (r.hardware_circuit, r.metrics)
+            }
+            CompilerKind::NoMap => {
+                let r = NoMapCompiler::new().compile_for_device(circuit, device);
+                (r.hardware_circuit, r.metrics)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CompilerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One row of a compilation-metrics table: a (workload, size, instance,
+/// compiler) data point.
+#[derive(Debug, Clone)]
+pub struct MetricsRow {
+    /// Benchmark family name.
+    pub workload: String,
+    /// Device name.
+    pub device: String,
+    /// Native basis name.
+    pub basis: String,
+    /// Compiler name.
+    pub compiler: String,
+    /// Number of circuit qubits.
+    pub qubits: usize,
+    /// Instance index.
+    pub instance: usize,
+    /// Inserted SWAPs.
+    pub swaps: usize,
+    /// Dressed SWAPs (merged with a circuit gate).
+    pub dressed_swaps: usize,
+    /// Hardware two-qubit gate count after decomposition.
+    pub hardware_two_qubit_gates: usize,
+    /// Hardware two-qubit depth.
+    pub hardware_two_qubit_depth: usize,
+    /// Estimated total depth (all gates).
+    pub total_depth: usize,
+    /// Hardware two-qubit gate count of the NoMap baseline (for overheads).
+    pub baseline_two_qubit_gates: usize,
+    /// Hardware two-qubit depth of the NoMap baseline.
+    pub baseline_two_qubit_depth: usize,
+}
+
+impl MetricsRow {
+    /// Builds a row from computed metrics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        workload: &str,
+        device: &Device,
+        compiler: CompilerKind,
+        qubits: usize,
+        instance: usize,
+        metrics: &HardwareMetrics,
+        baseline: &HardwareMetrics,
+    ) -> Self {
+        Self {
+            workload: workload.to_string(),
+            device: device.name().to_string(),
+            basis: device.default_basis().name().to_string(),
+            compiler: compiler.name().to_string(),
+            qubits,
+            instance,
+            swaps: metrics.swap_count,
+            dressed_swaps: metrics.dressed_swap_count,
+            hardware_two_qubit_gates: metrics.hardware_two_qubit_count,
+            hardware_two_qubit_depth: metrics.hardware_two_qubit_depth,
+            total_depth: metrics.total_depth_estimate,
+            baseline_two_qubit_gates: baseline.hardware_two_qubit_count,
+            baseline_two_qubit_depth: baseline.hardware_two_qubit_depth,
+        }
+    }
+
+    /// Hardware-gate overhead over the NoMap baseline.
+    pub fn gate_overhead(&self) -> f64 {
+        self.hardware_two_qubit_gates as f64 - self.baseline_two_qubit_gates as f64
+    }
+
+    /// Two-qubit-depth overhead over the NoMap baseline.
+    pub fn depth_overhead(&self) -> f64 {
+        self.hardware_two_qubit_depth as f64 - self.baseline_two_qubit_depth as f64
+    }
+
+    /// The CSV header matching [`MetricsRow::csv_line`].
+    pub fn csv_header() -> &'static str {
+        "workload,device,basis,compiler,qubits,instance,swaps,dressed_swaps,hw_two_qubit_gates,hw_two_qubit_depth,total_depth,nomap_two_qubit_gates,nomap_two_qubit_depth"
+    }
+
+    /// The row serialised as a CSV line.
+    pub fn csv_line(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.workload,
+            self.device,
+            self.basis,
+            self.compiler,
+            self.qubits,
+            self.instance,
+            self.swaps,
+            self.dressed_swaps,
+            self.hardware_two_qubit_gates,
+            self.hardware_two_qubit_depth,
+            self.total_depth,
+            self.baseline_two_qubit_gates,
+            self.baseline_two_qubit_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{Workload, WorkloadKind};
+    use twoqan_device::TwoQubitBasis;
+
+    #[test]
+    fn every_compiler_produces_hardware_compatible_output() {
+        let w = Workload::generate(WorkloadKind::QaoaRegular(3), 8, 0);
+        let device = Device::montreal();
+        for kind in CompilerKind::QAOA {
+            let (schedule, metrics) = kind.compile(&w.circuit, &device);
+            if kind != CompilerKind::NoMap {
+                assert!(
+                    schedule
+                        .iter_gates()
+                        .filter(|g| g.is_two_qubit())
+                        .all(|g| device.are_adjacent(g.qubit0(), g.qubit1())),
+                    "{kind} produced a non-NN gate"
+                );
+            }
+            assert!(metrics.hardware_two_qubit_count >= 24, "{kind}");
+        }
+    }
+
+    #[test]
+    fn two_qan_never_uses_more_swaps_than_generic_baselines() {
+        let w = Workload::generate(WorkloadKind::NnnIsing, 12, 0);
+        let device = Device::montreal();
+        let (_, ours) = CompilerKind::TwoQan.compile(&w.circuit, &device);
+        let (_, tket) = CompilerKind::TketLike.compile(&w.circuit, &device);
+        let (_, qiskit) = CompilerKind::QiskitLike.compile(&w.circuit, &device);
+        assert!(ours.swap_count <= tket.swap_count);
+        assert!(ours.swap_count <= qiskit.swap_count);
+    }
+
+    #[test]
+    fn metrics_row_roundtrip() {
+        let w = Workload::generate(WorkloadKind::NnnXy, 8, 0);
+        let device = Device::grid(2, 4, TwoQubitBasis::Cnot);
+        let (_, base) = CompilerKind::NoMap.compile(&w.circuit, &device);
+        let (_, ours) = CompilerKind::TwoQan.compile(&w.circuit, &device);
+        let row = MetricsRow::new("NNN-XY", &device, CompilerKind::TwoQan, 8, 0, &ours, &base);
+        assert!(row.gate_overhead() >= 0.0);
+        let line = row.csv_line();
+        assert_eq!(line.split(',').count(), MetricsRow::csv_header().split(',').count());
+        assert!(line.starts_with("NNN-XY,"));
+    }
+
+    #[test]
+    fn compiler_names_are_stable() {
+        assert_eq!(CompilerKind::TwoQan.to_string(), "2QAN");
+        assert_eq!(CompilerKind::NoMap.name(), "NoMap");
+        assert_eq!(CompilerKind::GENERAL.len(), 4);
+        assert_eq!(CompilerKind::QAOA.len(), 5);
+    }
+}

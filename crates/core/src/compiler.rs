@@ -1,0 +1,305 @@
+//! The end-to-end 2QAN compilation pipeline.
+
+use crate::decompose::hardware_metrics;
+use crate::error::CompileError;
+use crate::mapping::{initial_mapping, InitialMappingStrategy, QubitMap};
+use crate::routing::{route, RoutedCircuit, RoutingConfig};
+use crate::scheduling::{schedule, SchedulingStrategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twoqan_circuit::{Circuit, Gate, GateKind, HardwareMetrics, Moment, ScheduledCircuit};
+use twoqan_device::{Device, TwoQubitBasis};
+
+/// Configuration of the 2QAN compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoQanConfig {
+    /// Initial-placement strategy (§III-A).
+    pub mapping_strategy: InitialMappingStrategy,
+    /// How many independent mapping + routing trials to run; the result with
+    /// the fewest SWAPs (then fewest hardware gates) is kept.  The paper runs
+    /// the randomised mapping pass 5 times and keeps the best result.
+    pub mapping_trials: usize,
+    /// Routing configuration (SWAP dressing on/off).
+    pub routing: RoutingConfig,
+    /// Scheduling strategy (hybrid vs. order-respecting, for ablations).
+    pub scheduling: SchedulingStrategy,
+    /// Base random seed (trial `k` uses `seed + k`).
+    pub seed: u64,
+    /// Apply the circuit-unitary-unifying pre-pass before compiling
+    /// (§III-C); disable only for ablation studies.
+    pub unify_input: bool,
+}
+
+impl Default for TwoQanConfig {
+    fn default() -> Self {
+        Self {
+            mapping_strategy: InitialMappingStrategy::TabuSearch,
+            mapping_trials: 3,
+            routing: RoutingConfig::default(),
+            scheduling: SchedulingStrategy::Hybrid,
+            seed: 2021,
+            unify_input: true,
+        }
+    }
+}
+
+/// The output of a 2QAN compilation.
+#[derive(Debug, Clone)]
+pub struct CompilationResult {
+    /// The initial qubit placement `φ_0`.
+    pub initial_map: QubitMap,
+    /// The routing structure (maps, per-map gates, SWAP actions).
+    pub routed: RoutedCircuit,
+    /// The scheduled hardware circuit over physical qubits, still carrying
+    /// application-level unitaries (decomposition is metric-level unless an
+    /// exact circuit is requested).
+    pub hardware_circuit: ScheduledCircuit,
+    /// Gate counts and depths for the device's native basis.
+    pub metrics: HardwareMetrics,
+    /// The native basis the metrics were computed for.
+    pub basis: TwoQubitBasis,
+}
+
+impl CompilationResult {
+    /// Number of inserted SWAPs (plain + dressed).
+    pub fn swap_count(&self) -> usize {
+        self.metrics.swap_count
+    }
+
+    /// Number of SWAPs merged with circuit gates ("2QAN dressed").
+    pub fn dressed_swap_count(&self) -> usize {
+        self.metrics.dressed_swap_count
+    }
+
+    /// Returns `true` if every two-qubit gate of the compiled circuit acts on
+    /// a pair of qubits that are adjacent on `device`.
+    pub fn hardware_compatible(&self, device: &Device) -> bool {
+        self.hardware_circuit
+            .iter_gates()
+            .filter(|g| g.is_two_qubit())
+            .all(|g| device.are_adjacent(g.qubit0(), g.qubit1()))
+    }
+
+    /// Builds the schedule of one additional layer/Trotter step from this
+    /// compiled first step, as the paper does for multi-layer QAOA: even
+    /// layers reuse the compiled circuit with the gate order reversed, odd
+    /// layers reuse it as-is.  The two-qubit interaction coefficients are
+    /// multiplied by `gamma_scale` and single-qubit rotation angles by
+    /// `beta_scale`, so per-layer QAOA parameters can be substituted without
+    /// recompiling.
+    pub fn layer_schedule(&self, gamma_scale: f64, beta_scale: f64, reversed: bool) -> ScheduledCircuit {
+        let moments: Vec<Moment> = self.hardware_circuit.moments().to_vec();
+        let iter: Box<dyn Iterator<Item = &Moment>> = if reversed {
+            Box::new(moments.iter().rev())
+        } else {
+            Box::new(moments.iter())
+        };
+        let mut out = ScheduledCircuit::new(self.hardware_circuit.num_qubits());
+        for moment in iter {
+            let mut m = Moment::new();
+            for gate in moment.gates() {
+                let scaled = scale_gate(gate, gamma_scale, beta_scale);
+                let pushed = m.try_push(scaled);
+                debug_assert!(pushed, "scaling preserves qubit disjointness");
+            }
+            out.push_moment(m);
+        }
+        out
+    }
+}
+
+/// Scales the interaction coefficients / rotation angles of a gate (used for
+/// per-layer QAOA parameter substitution).
+fn scale_gate(gate: &Gate, gamma_scale: f64, beta_scale: f64) -> Gate {
+    match gate.kind {
+        GateKind::Canonical { xx, yy, zz } => Gate::two(
+            GateKind::Canonical { xx: xx * gamma_scale, yy: yy * gamma_scale, zz: zz * gamma_scale },
+            gate.qubit0(),
+            gate.qubit1(),
+        ),
+        GateKind::DressedSwap { xx, yy, zz } => Gate::two(
+            GateKind::DressedSwap { xx: xx * gamma_scale, yy: yy * gamma_scale, zz: zz * gamma_scale },
+            gate.qubit0(),
+            gate.qubit1(),
+        ),
+        GateKind::Rx(t) => Gate::single(GateKind::Rx(t * beta_scale), gate.qubit0()),
+        GateKind::Ry(t) => Gate::single(GateKind::Ry(t * beta_scale), gate.qubit0()),
+        GateKind::Rz(t) => Gate::single(GateKind::Rz(t * beta_scale), gate.qubit0()),
+        _ => *gate,
+    }
+}
+
+/// The 2QAN compiler.
+#[derive(Debug, Clone, Default)]
+pub struct TwoQanCompiler {
+    config: TwoQanConfig,
+}
+
+impl TwoQanCompiler {
+    /// Creates a compiler with the given configuration.
+    pub fn new(config: TwoQanConfig) -> Self {
+        Self { config }
+    }
+
+    /// The compiler configuration.
+    pub fn config(&self) -> &TwoQanConfig {
+        &self.config
+    }
+
+    /// Compiles one Trotter step / QAOA layer onto a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::TooManyQubits`] if the circuit does not fit on
+    /// the device, and propagates routing failures (which do not occur on
+    /// connected devices).
+    pub fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompilationResult, CompileError> {
+        let prepared = if self.config.unify_input {
+            circuit.unify_same_pair_gates()
+        } else {
+            circuit.clone()
+        };
+        let trials = self.config.mapping_trials.max(1);
+        let mut best: Option<CompilationResult> = None;
+        for trial in 0..trials {
+            let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(trial as u64));
+            let map = initial_mapping(&prepared, device, self.config.mapping_strategy, &mut rng)?;
+            let routed = route(&prepared, device, &map, &self.config.routing, &mut rng)?;
+            let hardware_circuit = schedule(&routed, device, self.config.scheduling);
+            let metrics = hardware_metrics(&hardware_circuit, device.default_basis());
+            let candidate = CompilationResult {
+                initial_map: map,
+                routed,
+                hardware_circuit,
+                metrics,
+                basis: device.default_basis(),
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (candidate.metrics.swap_count, candidate.metrics.hardware_two_qubit_count, candidate.metrics.hardware_two_qubit_depth)
+                        < (b.metrics.swap_count, b.metrics.hardware_two_qubit_count, b.metrics.hardware_two_qubit_depth)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        Ok(best.expect("at least one trial is always run"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoqan_ham::{nnn_heisenberg, nnn_ising, nnn_xy, trotter_step, QaoaProblem};
+
+    fn compile(circuit: &Circuit, device: &Device) -> CompilationResult {
+        TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 2,
+            ..TwoQanConfig::default()
+        })
+        .compile(circuit, device)
+        .unwrap()
+    }
+
+    #[test]
+    fn compiles_all_models_onto_all_devices() {
+        let devices = [Device::sycamore(), Device::montreal(), Device::aspen()];
+        for device in &devices {
+            for (name, circuit) in [
+                ("ising", trotter_step(&nnn_ising(8, 1), 1.0)),
+                ("xy", trotter_step(&nnn_xy(8, 2), 1.0)),
+                ("heisenberg", trotter_step(&nnn_heisenberg(8, 3), 1.0)),
+            ] {
+                let result = compile(&circuit, device);
+                assert!(
+                    result.hardware_compatible(device),
+                    "{name} on {} is not hardware compatible",
+                    device.name()
+                );
+                assert_eq!(
+                    result.metrics.application_two_qubit_count,
+                    circuit.unify_same_pair_gates().two_qubit_gate_count() + result.swap_count()
+                        - result.dressed_swap_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qaoa_compilation_is_hardware_compatible_and_reports_dressed_swaps() {
+        let problem = QaoaProblem::random_regular(12, 3, 5);
+        let circuit = problem.circuit(&[(0.6, 0.4)], true);
+        let device = Device::montreal();
+        let result = compile(&circuit, &device);
+        assert!(result.hardware_compatible(&device));
+        assert!(result.swap_count() > 0);
+        assert!(result.dressed_swap_count() <= result.swap_count());
+        assert_eq!(result.basis, TwoQubitBasis::Cnot);
+    }
+
+    #[test]
+    fn no_swaps_needed_when_interaction_graph_embeds() {
+        let mut circuit = Circuit::new(6);
+        for i in 0..5 {
+            circuit.push(Gate::canonical(i, i + 1, 0.0, 0.0, 0.3));
+        }
+        let device = Device::grid(2, 3, TwoQubitBasis::Cnot);
+        let result = compile(&circuit, &device);
+        assert_eq!(result.swap_count(), 0);
+        assert_eq!(result.metrics.hardware_two_qubit_count, 10);
+    }
+
+    #[test]
+    fn rejects_oversized_circuits() {
+        let circuit = trotter_step(&nnn_ising(20, 1), 1.0);
+        let err = TwoQanCompiler::default().compile(&circuit, &Device::aspen()).unwrap_err();
+        assert!(matches!(err, CompileError::TooManyQubits { .. }));
+    }
+
+    #[test]
+    fn layer_schedule_scales_parameters_and_reverses() {
+        let problem = QaoaProblem::random_regular(8, 3, 2);
+        let circuit = problem.circuit(&[(0.5, 0.25)], false);
+        let device = Device::montreal();
+        let result = compile(&circuit, &device);
+        let forward = result.layer_schedule(2.0, 3.0, false);
+        assert_eq!(forward.gate_count(), result.hardware_circuit.gate_count());
+        // Interaction coefficients doubled.
+        let original_zz: f64 = result
+            .hardware_circuit
+            .iter_gates()
+            .filter_map(|g| match g.kind {
+                GateKind::Canonical { zz, .. } | GateKind::DressedSwap { zz, .. } => Some(zz),
+                _ => None,
+            })
+            .sum();
+        let scaled_zz: f64 = forward
+            .iter_gates()
+            .filter_map(|g| match g.kind {
+                GateKind::Canonical { zz, .. } | GateKind::DressedSwap { zz, .. } => Some(zz),
+                _ => None,
+            })
+            .sum();
+        assert!((scaled_zz - 2.0 * original_zz).abs() < 1e-9);
+        let reversed = result.layer_schedule(1.0, 1.0, true);
+        assert_eq!(reversed.gate_count(), forward.gate_count());
+        let first_forward = result.hardware_circuit.moments().first().unwrap().gates().len();
+        let last_reversed = reversed.moments().last().unwrap().gates().len();
+        assert_eq!(first_forward, last_reversed);
+    }
+
+    #[test]
+    fn more_mapping_trials_never_hurt() {
+        let circuit = trotter_step(&nnn_heisenberg(10, 9), 1.0);
+        let device = Device::montreal();
+        let one = TwoQanCompiler::new(TwoQanConfig { mapping_trials: 1, ..TwoQanConfig::default() })
+            .compile(&circuit, &device)
+            .unwrap();
+        let five = TwoQanCompiler::new(TwoQanConfig { mapping_trials: 5, ..TwoQanConfig::default() })
+            .compile(&circuit, &device)
+            .unwrap();
+        assert!(five.swap_count() <= one.swap_count());
+    }
+}

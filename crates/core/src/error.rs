@@ -1,0 +1,77 @@
+//! Compiler error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the 2QAN compilation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The circuit uses more qubits than the target device provides.
+    TooManyQubits {
+        /// Number of qubits in the circuit.
+        circuit: usize,
+        /// Number of qubits on the device.
+        device: usize,
+    },
+    /// The circuit contains a gate kind the pipeline cannot handle at this
+    /// stage (e.g. asking for an exact CNOT decomposition of a non-ZZ-type
+    /// unitary).
+    UnsupportedGate {
+        /// Description of the offending gate.
+        gate: String,
+        /// The pipeline stage that rejected it.
+        stage: &'static str,
+    },
+    /// The routing pass could not make progress (only possible on
+    /// disconnected or degenerate topologies, which [`twoqan_device::Device`]
+    /// already rejects — kept for defensive completeness).
+    RoutingStuck {
+        /// Number of two-qubit gates that could not be routed.
+        remaining_gates: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TooManyQubits { circuit, device } => write!(
+                f,
+                "circuit uses {circuit} qubits but the device only has {device}"
+            ),
+            CompileError::UnsupportedGate { gate, stage } => {
+                write!(f, "gate {gate} is not supported by the {stage} stage")
+            }
+            CompileError::RoutingStuck { remaining_gates } => write!(
+                f,
+                "routing could not place {remaining_gates} remaining two-qubit gates"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = CompileError::TooManyQubits { circuit: 30, device: 27 };
+        assert!(e.to_string().contains("30"));
+        assert!(e.to_string().contains("27"));
+        let e = CompileError::UnsupportedGate {
+            gate: "can q0,q1".into(),
+            stage: "exact CNOT decomposition",
+        };
+        assert!(e.to_string().contains("exact CNOT decomposition"));
+        let e = CompileError::RoutingStuck { remaining_gates: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<CompileError>();
+    }
+}

@@ -1,0 +1,563 @@
+//! Permutation-aware qubit routing (Algorithm 1) and SWAP unitary unifying
+//! (§III-B and §III-C of the paper).
+//!
+//! Unlike order-respecting routers, the 2QAN router treats the two-qubit
+//! operators of one Trotter step as an unordered set: any operator whose
+//! qubits are nearest-neighbour in *some* qubit map can be executed while
+//! that map is in effect.  The router therefore only has to bring the
+//! remaining non-NN pairs together, and it picks each SWAP by three criteria
+//! (in priority order):
+//!
+//! 1. **Least SWAP count** — the SWAP minimising the Eq.-7 cost (total
+//!    hardware distance) of the still-unrouted gates,
+//! 2. **Shortest circuit depth** — the SWAP that can be interleaved the most
+//!    with already-placed gates (here: the one whose physical qubits are the
+//!    least busy so far),
+//! 3. **Best gate optimisation** — a SWAP that can be merged with a circuit
+//!    gate on the same qubit pair becomes a *dressed SWAP*, eliminating the
+//!    separate circuit gate entirely.
+//!
+//! The output is the list of qubit maps `{φ_i}` and the gates assigned to
+//! each map, exactly the structure Algorithm 2 (the hybrid scheduler)
+//! consumes.
+
+use crate::error::CompileError;
+use crate::mapping::QubitMap;
+use rand::Rng;
+use twoqan_circuit::{Circuit, Gate, GateKind};
+use twoqan_device::Device;
+
+/// A routing SWAP inserted between two stages, possibly merged with a
+/// circuit gate ("dressed").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapAction {
+    /// The physical qubit pair the SWAP acts on (a hardware edge).
+    pub physical: (usize, usize),
+    /// The logical qubits that were sitting on those physical qubits when
+    /// the SWAP was inserted (`None` for unoccupied physical qubits).
+    pub logical: (Option<usize>, Option<usize>),
+    /// The circuit gate merged into this SWAP, if any (always a
+    /// [`GateKind::Canonical`] gate on the same logical pair).
+    pub merged: Option<Gate>,
+}
+
+impl SwapAction {
+    /// Returns `true` if the SWAP was merged with a circuit gate.
+    pub fn is_dressed(&self) -> bool {
+        self.merged.is_some()
+    }
+
+    /// The physical-level gate this action turns into: a plain SWAP or a
+    /// dressed SWAP carrying the merged gate's interaction coefficients.
+    pub fn physical_gate(&self) -> Gate {
+        match self.merged {
+            Some(g) => match g.kind {
+                GateKind::Canonical { xx, yy, zz } => Gate::two(
+                    GateKind::DressedSwap { xx, yy, zz },
+                    self.physical.0,
+                    self.physical.1,
+                ),
+                _ => unreachable!("only canonical gates are merged into SWAPs"),
+            },
+            None => Gate::two(GateKind::Swap, self.physical.0, self.physical.1),
+        }
+    }
+}
+
+/// One routing stage: a qubit map, the circuit gates that are executed while
+/// it is in effect, and the SWAP that transitions to the next map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingStage {
+    /// The qubit map `φ_i` in effect for this stage.
+    pub map: QubitMap,
+    /// Circuit gates (on *logical* qubit pairs) that are nearest-neighbour
+    /// under `map` and assigned to this stage.
+    pub circuit_gates: Vec<Gate>,
+    /// The SWAP applied at the end of this stage (`None` for the last stage).
+    pub swap: Option<SwapAction>,
+}
+
+/// The router's output: the initial map, the per-map gate assignment and the
+/// single-qubit gates (which are free to execute under the initial map).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedCircuit {
+    /// Number of physical qubits on the target device.
+    pub num_physical: usize,
+    /// The routing stages `φ_0, φ_1, …` in insertion order.
+    pub stages: Vec<RoutingStage>,
+    /// Single-qubit gates of the input circuit (on logical qubits); they are
+    /// scheduled under the initial map.
+    pub single_qubit_gates: Vec<Gate>,
+}
+
+impl RoutedCircuit {
+    /// The initial qubit map `φ_0`.
+    pub fn initial_map(&self) -> &QubitMap {
+        &self.stages[0].map
+    }
+
+    /// The final qubit map (after all SWAPs).
+    pub fn final_map(&self) -> &QubitMap {
+        &self.stages[self.stages.len() - 1].map
+    }
+
+    /// Number of inserted SWAPs (plain + dressed).
+    pub fn swap_count(&self) -> usize {
+        self.stages.iter().filter(|s| s.swap.is_some()).count()
+    }
+
+    /// Number of SWAPs that were merged with circuit gates.
+    pub fn dressed_swap_count(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.swap.as_ref().map(SwapAction::is_dressed).unwrap_or(false))
+            .count()
+    }
+
+    /// Number of circuit gates assigned across all stages (excluding the
+    /// ones absorbed into dressed SWAPs).
+    pub fn placed_circuit_gate_count(&self) -> usize {
+        self.stages.iter().map(|s| s.circuit_gates.len()).sum()
+    }
+
+    /// Total number of two-qubit operations after routing: placed circuit
+    /// gates plus SWAPs (dressed SWAPs count once).
+    pub fn total_two_qubit_ops(&self) -> usize {
+        self.placed_circuit_gate_count() + self.swap_count()
+    }
+}
+
+/// Configuration of the routing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingConfig {
+    /// Enable the SWAP-unitary-unifying criterion and merging (dressed
+    /// SWAPs).  Disabling it is used for ablation studies.
+    pub enable_dressing: bool,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        Self { enable_dressing: true }
+    }
+}
+
+/// Runs the permutation-aware routing pass (Algorithm 1).
+///
+/// `circuit` is one (already circuit-unified) Trotter step; `initial_map` is
+/// the placement produced by the mapping pass.
+///
+/// # Errors
+///
+/// Returns [`CompileError::RoutingStuck`] if no progress can be made, which
+/// cannot happen on the connected devices produced by `twoqan-device` but is
+/// reported rather than looping forever.
+pub fn route<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    device: &Device,
+    initial_map: &QubitMap,
+    config: &RoutingConfig,
+    rng: &mut R,
+) -> Result<RoutedCircuit, CompileError> {
+    let single_qubit_gates: Vec<Gate> = circuit.single_qubit_gates().copied().collect();
+    let mut unrouted: Vec<Gate> = Vec::new();
+    let mut stage0_gates: Vec<Gate> = Vec::new();
+    for g in circuit.two_qubit_gates() {
+        if initial_map.logically_adjacent(device, g.qubit0(), g.qubit1()) {
+            stage0_gates.push(*g);
+        } else {
+            unrouted.push(*g);
+        }
+    }
+
+    // Per-physical-qubit busy counters used by the depth criterion.
+    let mut busy = vec![0usize; device.num_qubits()];
+    for g in &stage0_gates {
+        busy[initial_map.physical(g.qubit0())] += 1;
+        busy[initial_map.physical(g.qubit1())] += 1;
+    }
+
+    let mut stages = vec![RoutingStage {
+        map: initial_map.clone(),
+        circuit_gates: stage0_gates,
+        swap: None,
+    }];
+
+    // Safeguard against pathological non-progress: after this many SWAPs we
+    // switch to a forced-progress selection rule.
+    let total_distance: u32 = unrouted
+        .iter()
+        .map(|g| initial_map.logical_distance(device, g.qubit0(), g.qubit1()))
+        .sum();
+    let force_progress_after = (total_distance as usize) * 4 + 16;
+    let mut inserted_swaps = 0usize;
+
+    while !unrouted.is_empty() {
+        let current_map = stages.last().expect("at least one stage").map.clone();
+
+        // Line 5: select the unrouted gate with the shortest hardware distance.
+        let (gate_idx, _) = unrouted
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i, current_map.logical_distance(device, g.qubit0(), g.qubit1())))
+            .min_by_key(|&(_, d)| d)
+            .expect("unrouted set is non-empty");
+        let target_gate = unrouted[gate_idx];
+
+        // Line 6: candidate SWAPs act on one of the target gate's qubits.
+        let candidates = candidate_swaps(&target_gate, &current_map, device);
+        if candidates.is_empty() {
+            return Err(CompileError::RoutingStuck { remaining_gates: unrouted.len() });
+        }
+
+        // Line 7: evaluate the SWAP selection criteria.
+        let force_progress = inserted_swaps >= force_progress_after;
+        let chosen = select_swap(
+            &candidates,
+            &target_gate,
+            &unrouted,
+            &stages,
+            &current_map,
+            device,
+            &busy,
+            config,
+            force_progress,
+            rng,
+        );
+
+        // SWAP unitary unifying: merge a circuit gate on the same logical
+        // pair into the SWAP if one exists.
+        let logical_pair = (current_map.logical(chosen.0), current_map.logical(chosen.1));
+        let mut merged = None;
+        if config.enable_dressing {
+            if let (Some(la), Some(lb)) = logical_pair {
+                merged = take_mergeable_gate(&mut unrouted, &mut stages, la, lb);
+            }
+        }
+        let swap_action = SwapAction {
+            physical: chosen,
+            logical: logical_pair,
+            merged,
+        };
+        busy[chosen.0] += 1;
+        busy[chosen.1] += 1;
+        stages
+            .last_mut()
+            .expect("at least one stage")
+            .swap = Some(swap_action);
+        inserted_swaps += 1;
+
+        // Lines 8-10: update the map and collect newly nearest-neighbour gates.
+        let new_map = current_map.with_physical_swap(chosen.0, chosen.1);
+        let mut new_stage_gates = Vec::new();
+        let mut i = 0;
+        while i < unrouted.len() {
+            let g = unrouted[i];
+            if new_map.logically_adjacent(device, g.qubit0(), g.qubit1()) {
+                busy[new_map.physical(g.qubit0())] += 1;
+                busy[new_map.physical(g.qubit1())] += 1;
+                new_stage_gates.push(g);
+                unrouted.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        stages.push(RoutingStage {
+            map: new_map,
+            circuit_gates: new_stage_gates,
+            swap: None,
+        });
+    }
+
+    Ok(RoutedCircuit {
+        num_physical: device.num_qubits(),
+        stages,
+        single_qubit_gates,
+    })
+}
+
+/// All candidate physical SWAPs acting on one of the target gate's current
+/// physical qubits (Algorithm 1, line 6).
+fn candidate_swaps(gate: &Gate, map: &QubitMap, device: &Device) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for &logical in &[gate.qubit0(), gate.qubit1()] {
+        let p = map.physical(logical);
+        for neighbor in device.neighbors(p) {
+            let pair = (p.min(neighbor), p.max(neighbor));
+            if !out.contains(&pair) {
+                out.push(pair);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates the three SWAP selection criteria and picks the best candidate
+/// (ties broken uniformly at random, as in the paper).
+#[allow(clippy::too_many_arguments)]
+fn select_swap<R: Rng + ?Sized>(
+    candidates: &[(usize, usize)],
+    target_gate: &Gate,
+    unrouted: &[Gate],
+    stages: &[RoutingStage],
+    current_map: &QubitMap,
+    device: &Device,
+    busy: &[usize],
+    config: &RoutingConfig,
+    force_progress: bool,
+    rng: &mut R,
+) -> (usize, usize) {
+    #[derive(PartialEq, PartialOrd)]
+    struct Score(f64, f64, f64, f64);
+
+    let mut best: Vec<(usize, usize)> = Vec::new();
+    let mut best_score: Option<Score> = None;
+
+    for &swap in candidates {
+        let map_after = current_map.with_physical_swap(swap.0, swap.1);
+        // Criterion 0 (only in forced-progress mode): the selected gate's
+        // distance after the SWAP — guarantees termination.
+        let target_distance = f64::from(map_after.logical_distance(
+            device,
+            target_gate.qubit0(),
+            target_gate.qubit1(),
+        ));
+        // Criterion 1: remaining Eq.-7 cost over all unrouted gates.
+        let remaining_cost: f64 = unrouted
+            .iter()
+            .map(|g| f64::from(map_after.logical_distance(device, g.qubit0(), g.qubit1())))
+            .sum();
+        // Criterion 2: depth proxy — how busy the SWAP's qubits already are.
+        let depth_cost = busy[swap.0].max(busy[swap.1]) as f64;
+        // Criterion 3: can the SWAP be dressed? (better = lower score)
+        let mergeable = if config.enable_dressing {
+            match (current_map.logical(swap.0), current_map.logical(swap.1)) {
+                (Some(la), Some(lb)) => {
+                    if find_mergeable_gate(unrouted, stages, la, lb).is_some() {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                _ => 1.0,
+            }
+        } else {
+            1.0
+        };
+        // The SWAP is inserted "for gate g" (Algorithm 1, line 7): only
+        // candidates that bring the target gate closer are competitive, so
+        // the target distance leads the comparison; the paper's three
+        // criteria order the remaining ties.  (`force_progress` is the
+        // defensive fallback mode and uses the same ordering.)
+        let _ = force_progress;
+        let score = Score(target_distance, remaining_cost, depth_cost, mergeable);
+        match &best_score {
+            Some(b) if score > *b => {}
+            Some(b) if score == *b => best.push(swap),
+            _ => {
+                best_score = Some(score);
+                best = vec![swap];
+            }
+        }
+    }
+    best[rng.gen_range(0..best.len())]
+}
+
+/// Looks for a not-yet-merged canonical circuit gate on the logical pair
+/// `(la, lb)`, searching the unrouted set first and then the already-placed
+/// stages.  Returns its location without removing it.
+fn find_mergeable_gate(
+    unrouted: &[Gate],
+    stages: &[RoutingStage],
+    la: usize,
+    lb: usize,
+) -> Option<()> {
+    let pair = (la.min(lb), la.max(lb));
+    let is_match = |g: &Gate| {
+        matches!(g.kind, GateKind::Canonical { .. }) && g.qubit_pair() == pair
+    };
+    if unrouted.iter().any(is_match) {
+        return Some(());
+    }
+    if stages.iter().any(|s| s.circuit_gates.iter().any(is_match)) {
+        return Some(());
+    }
+    None
+}
+
+/// Removes a mergeable canonical gate on `(la, lb)` from wherever it lives
+/// (unrouted set first, then placed stages) and returns it.
+fn take_mergeable_gate(
+    unrouted: &mut Vec<Gate>,
+    stages: &mut [RoutingStage],
+    la: usize,
+    lb: usize,
+) -> Option<Gate> {
+    let pair = (la.min(lb), la.max(lb));
+    let is_match = |g: &Gate| {
+        matches!(g.kind, GateKind::Canonical { .. }) && g.qubit_pair() == pair
+    };
+    if let Some(pos) = unrouted.iter().position(is_match) {
+        return Some(unrouted.remove(pos));
+    }
+    for stage in stages.iter_mut() {
+        if let Some(pos) = stage.circuit_gates.iter().position(is_match) {
+            return Some(stage.circuit_gates.remove(pos));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{initial_mapping, InitialMappingStrategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twoqan_device::TwoQubitBasis;
+    use twoqan_ham::{nnn_heisenberg, nnn_ising, trotter_step, QaoaProblem};
+
+    fn route_with_tabu(
+        circuit: &Circuit,
+        device: &Device,
+        seed: u64,
+        config: &RoutingConfig,
+    ) -> RoutedCircuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let map = initial_mapping(circuit, device, InitialMappingStrategy::TabuSearch, &mut rng).unwrap();
+        route(circuit, device, &map, config, &mut rng).unwrap()
+    }
+
+    /// Every circuit gate must end up somewhere: as a stage gate or merged
+    /// into a dressed SWAP, and every stage gate must be NN under its map.
+    fn check_routing_invariants(routed: &RoutedCircuit, circuit: &Circuit, device: &Device) {
+        let placed: usize = routed.placed_circuit_gate_count();
+        let merged = routed.dressed_swap_count();
+        assert_eq!(
+            placed + merged,
+            circuit.two_qubit_gate_count(),
+            "all two-qubit gates must be placed or merged"
+        );
+        for stage in &routed.stages {
+            for g in &stage.circuit_gates {
+                assert!(
+                    stage.map.logically_adjacent(device, g.qubit0(), g.qubit1()),
+                    "placed gate {g} is not NN under its stage map"
+                );
+            }
+            if let Some(swap) = &stage.swap {
+                assert!(
+                    device.are_adjacent(swap.physical.0, swap.physical.1),
+                    "SWAP on non-adjacent physical qubits"
+                );
+                if let Some(m) = swap.merged {
+                    let (la, lb) = (swap.logical.0.unwrap(), swap.logical.1.unwrap());
+                    assert_eq!(m.qubit_pair(), (la.min(lb), la.max(lb)));
+                }
+            }
+        }
+        assert_eq!(routed.single_qubit_gates.len(), circuit.single_qubit_gate_count());
+    }
+
+    #[test]
+    fn fully_embeddable_circuit_needs_no_swaps() {
+        // A 6-qubit chain on a 2×3 grid embeds perfectly.
+        let mut circuit = Circuit::new(6);
+        for i in 0..5 {
+            circuit.push(Gate::canonical(i, i + 1, 0.0, 0.0, 0.3));
+        }
+        let device = Device::grid(2, 3, TwoQubitBasis::Cnot);
+        let routed = route_with_tabu(&circuit, &device, 3, &RoutingConfig::default());
+        assert_eq!(routed.swap_count(), 0);
+        assert_eq!(routed.stages.len(), 1);
+        check_routing_invariants(&routed, &circuit, &device);
+    }
+
+    #[test]
+    fn ising_on_grid_uses_few_swaps_and_dresses_them() {
+        let circuit = trotter_step(&nnn_ising(6, 11), 1.0);
+        let device = Device::grid(2, 3, TwoQubitBasis::Cnot);
+        let routed = route_with_tabu(&circuit, &device, 7, &RoutingConfig::default());
+        check_routing_invariants(&routed, &circuit, &device);
+        // The Fig. 3 walk-through needs only 2 SWAPs for this family of
+        // 6-qubit problems; allow a little slack for the random coefficients.
+        assert!(routed.swap_count() <= 4, "too many SWAPs: {}", routed.swap_count());
+        assert!(routed.swap_count() >= 1);
+    }
+
+    #[test]
+    fn heisenberg_on_montreal_routes_all_gates() {
+        let circuit = trotter_step(&nnn_heisenberg(12, 5), 1.0);
+        let device = Device::montreal();
+        let routed = route_with_tabu(&circuit, &device, 1, &RoutingConfig::default());
+        check_routing_invariants(&routed, &circuit, &device);
+        assert!(routed.swap_count() > 0);
+        // Most SWAPs should be dressed for dense NNN problems.
+        assert!(routed.dressed_swap_count() * 2 >= routed.swap_count());
+    }
+
+    #[test]
+    fn qaoa_on_aspen_routes_all_gates() {
+        let problem = QaoaProblem::random_regular(12, 3, 9);
+        let circuit = problem.circuit(&[(0.6, 0.4)], false).unify_same_pair_gates();
+        let device = Device::aspen();
+        let routed = route_with_tabu(&circuit, &device, 2, &RoutingConfig::default());
+        check_routing_invariants(&routed, &circuit, &device);
+    }
+
+    #[test]
+    fn disabling_dressing_produces_plain_swaps_only() {
+        let circuit = trotter_step(&nnn_ising(10, 3), 1.0);
+        let device = Device::montreal();
+        let config = RoutingConfig { enable_dressing: false };
+        let routed = route_with_tabu(&circuit, &device, 5, &config);
+        check_routing_invariants(&routed, &circuit, &device);
+        assert_eq!(routed.dressed_swap_count(), 0);
+    }
+
+    #[test]
+    fn dressing_reduces_total_two_qubit_operations() {
+        let circuit = trotter_step(&nnn_heisenberg(14, 21), 1.0);
+        let device = Device::montreal();
+        let dressed = route_with_tabu(&circuit, &device, 8, &RoutingConfig::default());
+        let plain = route_with_tabu(&circuit, &device, 8, &RoutingConfig { enable_dressing: false });
+        assert!(
+            dressed.total_two_qubit_ops() <= plain.total_two_qubit_ops(),
+            "dressing should never increase the operation count ({} vs {})",
+            dressed.total_two_qubit_ops(),
+            plain.total_two_qubit_ops()
+        );
+    }
+
+    #[test]
+    fn stage_maps_evolve_by_the_recorded_swaps() {
+        let circuit = trotter_step(&nnn_ising(8, 2), 1.0);
+        let device = Device::montreal();
+        let routed = route_with_tabu(&circuit, &device, 4, &RoutingConfig::default());
+        for window in routed.stages.windows(2) {
+            let swap = window[0].swap.as_ref().expect("inner stages end with a SWAP");
+            let expected = window[0].map.with_physical_swap(swap.physical.0, swap.physical.1);
+            assert_eq!(expected, window[1].map);
+        }
+        assert!(routed.stages.last().unwrap().swap.is_none());
+    }
+
+    #[test]
+    fn swap_action_physical_gate_kinds() {
+        let plain = SwapAction {
+            physical: (2, 3),
+            logical: (Some(0), Some(1)),
+            merged: None,
+        };
+        assert_eq!(plain.physical_gate().kind, GateKind::Swap);
+        let dressed = SwapAction {
+            physical: (2, 3),
+            logical: (Some(0), Some(1)),
+            merged: Some(Gate::canonical(0, 1, 0.0, 0.0, 0.4)),
+        };
+        assert!(dressed.is_dressed());
+        match dressed.physical_gate().kind {
+            GateKind::DressedSwap { zz, .. } => assert!((zz - 0.4).abs() < 1e-12),
+            k => panic!("expected a dressed SWAP, got {k:?}"),
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Device calibration data (error rates and coherence times).
+//!
+//! §IV of the paper reports the IBMQ Montreal calibration on the day of the
+//! experiments (29 Oct 2021): average CNOT error 1.241 %, average read-out
+//! error 1.832 %, average T1 = 87.75 µs and T2 = 72.65 µs.  Those numbers
+//! drive the noise model used to reproduce Fig. 10 in `twoqan-sim`.
+
+/// Average calibration figures of a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Average two-qubit (native) gate error rate.
+    pub two_qubit_error: f64,
+    /// Average single-qubit gate error rate.
+    pub single_qubit_error: f64,
+    /// Average read-out (measurement) error rate per qubit.
+    pub readout_error: f64,
+    /// Average T1 relaxation time in microseconds.
+    pub t1_us: f64,
+    /// Average T2 dephasing time in microseconds.
+    pub t2_us: f64,
+    /// Two-qubit gate duration in nanoseconds.
+    pub two_qubit_gate_ns: f64,
+    /// Single-qubit gate duration in nanoseconds.
+    pub single_qubit_gate_ns: f64,
+}
+
+impl Calibration {
+    /// The IBMQ Montreal calibration quoted in §IV of the paper
+    /// (29 October 2021), with typical Falcon gate durations.
+    pub fn montreal_october_2021() -> Self {
+        Self {
+            two_qubit_error: 0.01241,
+            single_qubit_error: 0.0004,
+            readout_error: 0.01832,
+            t1_us: 87.75,
+            t2_us: 72.65,
+            two_qubit_gate_ns: 420.0,
+            single_qubit_gate_ns: 35.0,
+        }
+    }
+
+    /// Representative Sycamore calibration (from the quantum-supremacy
+    /// characterisation: ~0.6 % two-qubit, ~0.16 % single-qubit error).
+    pub fn sycamore_typical() -> Self {
+        Self {
+            two_qubit_error: 0.0062,
+            single_qubit_error: 0.0016,
+            readout_error: 0.031,
+            t1_us: 15.0,
+            t2_us: 10.0,
+            two_qubit_gate_ns: 12.0,
+            single_qubit_gate_ns: 25.0,
+        }
+    }
+
+    /// Representative Rigetti Aspen calibration.
+    pub fn aspen_typical() -> Self {
+        Self {
+            two_qubit_error: 0.025,
+            single_qubit_error: 0.002,
+            readout_error: 0.05,
+            t1_us: 30.0,
+            t2_us: 20.0,
+            two_qubit_gate_ns: 180.0,
+            single_qubit_gate_ns: 60.0,
+        }
+    }
+
+    /// An idealised noiseless device (useful for baseline simulations).
+    pub fn noiseless() -> Self {
+        Self {
+            two_qubit_error: 0.0,
+            single_qubit_error: 0.0,
+            readout_error: 0.0,
+            t1_us: f64::INFINITY,
+            t2_us: f64::INFINITY,
+            two_qubit_gate_ns: 0.0,
+            single_qubit_gate_ns: 0.0,
+        }
+    }
+
+    /// Average fidelity of a single native two-qubit gate.
+    pub fn two_qubit_fidelity(&self) -> f64 {
+        1.0 - self.two_qubit_error
+    }
+
+    /// Average fidelity of a single native single-qubit gate.
+    pub fn single_qubit_fidelity(&self) -> f64 {
+        1.0 - self.single_qubit_error
+    }
+
+    /// Probability that one qubit survives idling for `duration_ns` without a
+    /// decoherence event, using the simple `exp(-t/T1)·exp(-t/T2)` product.
+    pub fn idle_survival(&self, duration_ns: f64) -> f64 {
+        if !self.t1_us.is_finite() || !self.t2_us.is_finite() {
+            return 1.0;
+        }
+        let t_us = duration_ns / 1000.0;
+        (-t_us / self.t1_us).exp() * (-t_us / self.t2_us).exp()
+    }
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self::montreal_october_2021()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn montreal_values_match_paper() {
+        let c = Calibration::montreal_october_2021();
+        assert!((c.two_qubit_error - 0.01241).abs() < 1e-12);
+        assert!((c.readout_error - 0.01832).abs() < 1e-12);
+        assert!((c.t1_us - 87.75).abs() < 1e-12);
+        assert!((c.t2_us - 72.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelities_are_one_minus_errors() {
+        let c = Calibration::montreal_october_2021();
+        assert!((c.two_qubit_fidelity() - (1.0 - 0.01241)).abs() < 1e-12);
+        assert!(c.single_qubit_fidelity() > c.two_qubit_fidelity());
+    }
+
+    #[test]
+    fn noiseless_device_has_unit_fidelity() {
+        let c = Calibration::noiseless();
+        assert_eq!(c.two_qubit_fidelity(), 1.0);
+        assert_eq!(c.idle_survival(1e9), 1.0);
+    }
+
+    #[test]
+    fn idle_survival_decays_with_time() {
+        let c = Calibration::montreal_october_2021();
+        let short = c.idle_survival(100.0);
+        let long = c.idle_survival(100_000.0);
+        assert!(short > long);
+        assert!(short <= 1.0 && long > 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The [`Device`] type: a coupling topology, a native gate set and
+//! calibration data.
+
+use crate::calibration::Calibration;
+use crate::gateset::{GateSet, TwoQubitBasis};
+use crate::topologies;
+use twoqan_graphs::{DistanceMatrix, Graph};
+
+/// A quantum device model the compiler can target.
+///
+/// # Example
+///
+/// ```
+/// use twoqan_device::{Device, TwoQubitBasis};
+///
+/// let montreal = Device::montreal();
+/// assert_eq!(montreal.num_qubits(), 27);
+/// assert_eq!(montreal.default_basis(), TwoQubitBasis::Cnot);
+/// assert!(montreal.are_adjacent(0, 1));
+/// assert!(!montreal.are_adjacent(0, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Device {
+    name: String,
+    topology: Graph,
+    distances: DistanceMatrix,
+    gate_set: GateSet,
+    calibration: Calibration,
+}
+
+impl Device {
+    /// Builds a device from an arbitrary topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not connected (routing requires a connected
+    /// coupling graph).
+    pub fn from_topology(
+        name: impl Into<String>,
+        topology: Graph,
+        gate_set: GateSet,
+        calibration: Calibration,
+    ) -> Self {
+        assert!(topology.is_connected(), "device topology must be connected");
+        let distances = DistanceMatrix::floyd_warshall(&topology);
+        Self {
+            name: name.into(),
+            topology,
+            distances,
+            gate_set,
+            calibration,
+        }
+    }
+
+    /// The Google Sycamore device (54 qubits, SYC native gate, CZ also
+    /// supported).
+    pub fn sycamore() -> Self {
+        Self::from_topology(
+            "Sycamore",
+            topologies::sycamore_graph(),
+            GateSet {
+                bases: vec![TwoQubitBasis::Syc, TwoQubitBasis::Cz],
+            },
+            Calibration::sycamore_typical(),
+        )
+    }
+
+    /// The IBMQ Montreal device (27 qubits, heavy-hex lattice, CNOT native
+    /// gate), with the calibration reported in the paper.
+    pub fn montreal() -> Self {
+        Self::from_topology(
+            "Montreal",
+            topologies::montreal_graph(),
+            GateSet::single(TwoQubitBasis::Cnot),
+            Calibration::montreal_october_2021(),
+        )
+    }
+
+    /// The Rigetti Aspen device (16 qubits, two octagons, iSWAP native gate,
+    /// CZ also supported).
+    pub fn aspen() -> Self {
+        Self::from_topology(
+            "Aspen",
+            topologies::aspen_graph(),
+            GateSet {
+                bases: vec![TwoQubitBasis::ISwap, TwoQubitBasis::Cz],
+            },
+            Calibration::aspen_typical(),
+        )
+    }
+
+    /// A `rows × cols` grid device with the given native basis (the Fig. 3
+    /// walk-through uses a 2 × 3 grid).
+    pub fn grid(rows: usize, cols: usize, basis: TwoQubitBasis) -> Self {
+        Self::from_topology(
+            format!("grid-{rows}x{cols}"),
+            Graph::grid(rows, cols),
+            GateSet::single(basis),
+            Calibration::default(),
+        )
+    }
+
+    /// A linear chain of `n` qubits with the given native basis.
+    pub fn linear(n: usize, basis: TwoQubitBasis) -> Self {
+        Self::from_topology(
+            format!("line-{n}"),
+            Graph::path(n),
+            GateSet::single(basis),
+            Calibration::default(),
+        )
+    }
+
+    /// A fully-connected device (used for the "NoMap" baseline and the
+    /// all-to-all rows of Table III).
+    pub fn all_to_all(n: usize, basis: TwoQubitBasis) -> Self {
+        Self::from_topology(
+            format!("all-to-all-{n}"),
+            Graph::complete(n),
+            GateSet::single(basis),
+            Calibration::noiseless(),
+        )
+    }
+
+    /// Returns a copy of this device with a different decomposition basis
+    /// (used for the appendix CZ experiments on Sycamore and Aspen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's gate set does not support `basis`.
+    pub fn with_basis(&self, basis: TwoQubitBasis) -> Self {
+        assert!(
+            self.gate_set.supports(basis),
+            "{} does not support the {} basis",
+            self.name,
+            basis
+        );
+        let mut d = self.clone();
+        d.gate_set = GateSet {
+            bases: std::iter::once(basis)
+                .chain(self.gate_set.bases.iter().copied().filter(|&b| b != basis))
+                .collect(),
+        };
+        d
+    }
+
+    /// Returns a copy with different calibration data.
+    pub fn with_calibration(&self, calibration: Calibration) -> Self {
+        let mut d = self.clone();
+        d.calibration = calibration;
+        d
+    }
+
+    /// The device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of hardware qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.topology.num_vertices()
+    }
+
+    /// The coupling graph.
+    pub fn topology(&self) -> &Graph {
+        &self.topology
+    }
+
+    /// The all-pairs hardware distance matrix.
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+
+    /// Distance between two hardware qubits.
+    pub fn distance(&self, a: usize, b: usize) -> u32 {
+        self.distances.distance(a, b)
+    }
+
+    /// Returns `true` if a two-qubit gate can be applied directly on
+    /// `(a, b)`.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        self.topology.has_edge(a, b)
+    }
+
+    /// Hardware neighbours of a qubit.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        self.topology.neighbors(q).collect()
+    }
+
+    /// The native gate set.
+    pub fn gate_set(&self) -> &GateSet {
+        &self.gate_set
+    }
+
+    /// The default decomposition basis.
+    pub fn default_basis(&self) -> TwoQubitBasis {
+        self.gate_set.default_basis()
+    }
+
+    /// The calibration data.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn industrial_devices_have_expected_shapes() {
+        let syc = Device::sycamore();
+        assert_eq!(syc.num_qubits(), 54);
+        assert_eq!(syc.default_basis(), TwoQubitBasis::Syc);
+        let mon = Device::montreal();
+        assert_eq!(mon.num_qubits(), 27);
+        assert_eq!(mon.default_basis(), TwoQubitBasis::Cnot);
+        let asp = Device::aspen();
+        assert_eq!(asp.num_qubits(), 16);
+        assert_eq!(asp.default_basis(), TwoQubitBasis::ISwap);
+    }
+
+    #[test]
+    fn generic_devices() {
+        let grid = Device::grid(2, 3, TwoQubitBasis::Cnot);
+        assert_eq!(grid.num_qubits(), 6);
+        assert!(grid.are_adjacent(0, 3));
+        assert!(!grid.are_adjacent(0, 4));
+        let line = Device::linear(5, TwoQubitBasis::Cz);
+        assert_eq!(line.distance(0, 4), 4);
+        let full = Device::all_to_all(10, TwoQubitBasis::Cnot);
+        assert_eq!(full.distance(3, 9), 1);
+        assert_eq!(full.neighbors(0).len(), 9);
+    }
+
+    #[test]
+    fn with_basis_switches_to_cz() {
+        let syc_cz = Device::sycamore().with_basis(TwoQubitBasis::Cz);
+        assert_eq!(syc_cz.default_basis(), TwoQubitBasis::Cz);
+        assert!(syc_cz.gate_set().supports(TwoQubitBasis::Syc));
+        let asp_cz = Device::aspen().with_basis(TwoQubitBasis::Cz);
+        assert_eq!(asp_cz.default_basis(), TwoQubitBasis::Cz);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn with_basis_rejects_unsupported_basis() {
+        let _ = Device::montreal().with_basis(TwoQubitBasis::Syc);
+    }
+
+    #[test]
+    fn with_calibration_overrides_noise_figures() {
+        let noiseless = Device::montreal().with_calibration(Calibration::noiseless());
+        assert_eq!(noiseless.calibration().two_qubit_error, 0.0);
+        assert_eq!(noiseless.num_qubits(), 27);
+    }
+
+    #[test]
+    fn montreal_distances_follow_heavy_hex_structure() {
+        let mon = Device::montreal();
+        assert_eq!(mon.distance(0, 1), 1);
+        assert!(mon.distance(0, 26) >= 7);
+        assert!(mon.are_adjacent(12, 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn disconnected_topology_rejected() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let _ = Device::from_topology(
+            "broken",
+            g,
+            GateSet::single(TwoQubitBasis::Cnot),
+            Calibration::noiseless(),
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! NISQ device models for the 2QAN reproduction.
+//!
+//! The paper evaluates compilation onto three industrial quantum computers
+//! (Fig. 1): Google Sycamore (54 qubits, SYC native gate), IBMQ Montreal
+//! (27 qubits, heavy-hex lattice, CNOT native gate) and Rigetti Aspen
+//! (16 qubits, two connected octagons, iSWAP native gate); the appendix also
+//! compiles to the CZ gate on Sycamore and Aspen.  This crate provides:
+//!
+//! * [`Device`] — a qubit topology plus a native two-qubit basis and
+//!   calibration data, with constructors for the three devices and for
+//!   generic grids / linear chains / all-to-all connectivity,
+//! * [`TwoQubitBasis`] and [`GateSet`] — the native-gate descriptions,
+//! * [`Calibration`] — error rates and coherence times (the Montreal values
+//!   quoted in §IV are included) used by the noise model in `twoqan-sim`.
+
+#![deny(missing_docs)]
+
+pub mod calibration;
+pub mod device;
+pub mod gateset;
+pub mod topologies;
+
+pub use calibration::Calibration;
+pub use device::Device;
+pub use gateset::{GateSet, TwoQubitBasis};

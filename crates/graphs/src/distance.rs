@@ -1,0 +1,145 @@
+//! All-pairs shortest-path distances via Floyd–Warshall.
+//!
+//! The qubit-mapping QAP cost (Eq. 7 of the paper) uses the hardware
+//! distance `d_{φ(i)φ(j)}` between physical qubits, "calculated by using the
+//! Floyd–Warshall algorithm"; the routing pass uses the same matrix to pick
+//! which non-adjacent gate to route first and which SWAP brings its qubits
+//! closer.
+
+use crate::graph::Graph;
+
+/// Distance value used for disconnected vertex pairs.
+pub const UNREACHABLE: u32 = u32::MAX / 4;
+
+/// A dense all-pairs shortest-path distance matrix (unit edge weights).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs shortest paths for `graph` with Floyd–Warshall.
+    pub fn floyd_warshall(graph: &Graph) -> Self {
+        let n = graph.num_vertices();
+        let mut data = vec![UNREACHABLE; n * n];
+        for v in 0..n {
+            data[v * n + v] = 0;
+        }
+        for (a, b) in graph.edges() {
+            data[a * n + b] = 1;
+            data[b * n + a] = 1;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = data[i * n + k];
+                if dik == UNREACHABLE {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = dik + data[k * n + j];
+                    if through < data[i * n + j] {
+                        data[i * n + j] = through;
+                    }
+                }
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `a` and `b` (0 on the diagonal, [`UNREACHABLE`] when
+    /// no path exists).
+    #[inline]
+    pub fn distance(&self, a: usize, b: usize) -> u32 {
+        self.data[a * self.n + b]
+    }
+
+    /// Distance as `f64`, convenient for cost functions.
+    #[inline]
+    pub fn distance_f64(&self, a: usize, b: usize) -> f64 {
+        f64::from(self.distance(a, b))
+    }
+
+    /// Returns `true` if `a` and `b` are adjacent (distance exactly 1).
+    #[inline]
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        self.distance(a, b) == 1
+    }
+
+    /// The largest finite distance in the matrix (graph diameter), or `None`
+    /// if the graph is disconnected or has fewer than two vertices.
+    pub fn diameter(&self) -> Option<u32> {
+        let mut best = 0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let d = self.distance(i, j);
+                if d >= UNREACHABLE {
+                    return None;
+                }
+                best = best.max(d);
+            }
+        }
+        if self.n < 2 {
+            None
+        } else {
+            Some(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_distances() {
+        let d = DistanceMatrix::floyd_warshall(&Graph::path(5));
+        assert_eq!(d.distance(0, 4), 4);
+        assert_eq!(d.distance(1, 3), 2);
+        assert_eq!(d.distance(2, 2), 0);
+        assert!(d.adjacent(0, 1));
+        assert!(!d.adjacent(0, 2));
+        assert_eq!(d.diameter(), Some(4));
+    }
+
+    #[test]
+    fn grid_graph_distances_are_manhattan() {
+        let d = DistanceMatrix::floyd_warshall(&Graph::grid(3, 4));
+        // Vertex (r, c) = r*4 + c; distance between (0,0) and (2,3) is 5.
+        assert_eq!(d.distance(0, 11), 5);
+        assert_eq!(d.distance(5, 6), 1);
+        assert_eq!(d.diameter(), Some(5));
+    }
+
+    #[test]
+    fn disconnected_pairs_are_unreachable() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let d = DistanceMatrix::floyd_warshall(&g);
+        assert_eq!(d.distance(0, 1), 1);
+        assert_eq!(d.distance(0, 2), UNREACHABLE);
+        assert_eq!(d.diameter(), None);
+    }
+
+    #[test]
+    fn cycle_distances_wrap_around() {
+        let d = DistanceMatrix::floyd_warshall(&Graph::cycle(6));
+        assert_eq!(d.distance(0, 3), 3);
+        assert_eq!(d.distance(0, 5), 1);
+        assert_eq!(d.distance(1, 4), 3);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let d = DistanceMatrix::floyd_warshall(&Graph::new(1));
+        assert_eq!(d.num_vertices(), 1);
+        assert_eq!(d.diameter(), None);
+        assert_eq!(d.distance(0, 0), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Graph algorithms and combinatorial-optimisation substrates for the 2QAN
+//! reproduction.
+//!
+//! The 2QAN compiler relies on a handful of classical algorithms:
+//!
+//! * all-pairs shortest-path distances between hardware qubits
+//!   (Floyd–Warshall, §III-A of the paper),
+//! * greedy graph colouring for scheduling gates without dependencies
+//!   (§III-D, the paper uses NetworkX's default greedy strategy),
+//! * random d-regular graph generation for the QAOA-REG-d benchmarks
+//!   (§IV), and
+//! * the Quadratic Assignment Problem formulation of initial qubit mapping,
+//!   solved with Tabu search (§III-A) — simulated annealing is provided as
+//!   the alternative the paper mentions.
+//!
+//! All of these are implemented here from scratch so the workspace has no
+//! external graph/optimisation dependencies.
+
+#![deny(missing_docs)]
+
+pub mod annealing;
+pub mod coloring;
+pub mod distance;
+pub mod graph;
+pub mod qap;
+pub mod random_regular;
+pub mod tabu;
+
+pub use annealing::{simulated_annealing, AnnealingConfig};
+pub use coloring::{greedy_coloring, ColoringResult};
+pub use distance::DistanceMatrix;
+pub use graph::Graph;
+pub use qap::QapProblem;
+pub use random_regular::random_regular_graph;
+pub use tabu::{tabu_search, TabuConfig};

@@ -1,0 +1,232 @@
+//! The Quadratic Assignment Problem (QAP) used for initial qubit mapping.
+//!
+//! §III-A of the paper formulates qubit mapping as a QAP: circuit qubits are
+//! "facilities", hardware qubits are "locations", the *flow* between two
+//! circuit qubits is the number of two-qubit gates acting on them, and the
+//! *distance* between two hardware qubits is their shortest-path distance.
+//! The objective (Eq. 7) is
+//! `min_φ Σ_{i,j} f_{ij} · d_{φ(i)φ(j)}`.
+
+use crate::distance::DistanceMatrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A QAP instance: an `n × n` flow matrix between facilities and an
+/// `m × m` (`m ≥ n`) distance matrix between locations.
+#[derive(Debug, Clone)]
+pub struct QapProblem {
+    flow: Vec<Vec<f64>>,
+    distance: Vec<Vec<f64>>,
+}
+
+impl QapProblem {
+    /// Creates a QAP instance from explicit flow and distance matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices are not square or if there are fewer locations
+    /// than facilities.
+    pub fn new(flow: Vec<Vec<f64>>, distance: Vec<Vec<f64>>) -> Self {
+        let n = flow.len();
+        let m = distance.len();
+        assert!(flow.iter().all(|r| r.len() == n), "flow matrix must be square");
+        assert!(distance.iter().all(|r| r.len() == m), "distance matrix must be square");
+        assert!(m >= n, "need at least as many locations ({m}) as facilities ({n})");
+        Self { flow, distance }
+    }
+
+    /// Builds the qubit-mapping QAP from gate interaction counts and a
+    /// hardware distance matrix.
+    ///
+    /// `interactions` lists `(circuit_qubit_a, circuit_qubit_b)` pairs, one
+    /// entry per two-qubit gate (repetitions increase the flow).
+    pub fn from_interactions(
+        num_circuit_qubits: usize,
+        interactions: &[(usize, usize)],
+        hardware: &DistanceMatrix,
+    ) -> Self {
+        let n = num_circuit_qubits;
+        let mut flow = vec![vec![0.0; n]; n];
+        for &(a, b) in interactions {
+            assert!(a < n && b < n, "interaction qubit out of range");
+            flow[a][b] += 1.0;
+            flow[b][a] += 1.0;
+        }
+        let m = hardware.num_vertices();
+        let mut distance = vec![vec![0.0; m]; m];
+        for (i, row) in distance.iter_mut().enumerate() {
+            for (j, d) in row.iter_mut().enumerate() {
+                *d = hardware.distance_f64(i, j);
+            }
+        }
+        Self::new(flow, distance)
+    }
+
+    /// Number of facilities (circuit qubits).
+    pub fn num_facilities(&self) -> usize {
+        self.flow.len()
+    }
+
+    /// Number of locations (hardware qubits).
+    pub fn num_locations(&self) -> usize {
+        self.distance.len()
+    }
+
+    /// Flow between two facilities.
+    pub fn flow(&self, i: usize, j: usize) -> f64 {
+        self.flow[i][j]
+    }
+
+    /// Distance between two locations.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        self.distance[a][b]
+    }
+
+    /// The QAP objective (Eq. 7) for an assignment `φ`:
+    /// `Σ_{i,j} f_{ij} · d_{φ(i)φ(j)}`.
+    ///
+    /// `assignment[i]` is the location of facility `i`.
+    pub fn cost(&self, assignment: &[usize]) -> f64 {
+        let n = self.num_facilities();
+        debug_assert_eq!(assignment.len(), n);
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let f = self.flow[i][j];
+                if f != 0.0 {
+                    total += f * self.distance[assignment[i]][assignment[j]];
+                }
+            }
+        }
+        total
+    }
+
+    /// Change in cost when the locations of facilities `i` and `j` are
+    /// exchanged (O(n) instead of recomputing the full O(n²) cost).
+    pub fn swap_delta(&self, assignment: &[usize], i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let n = self.num_facilities();
+        let (pi, pj) = (assignment[i], assignment[j]);
+        let mut delta = 0.0;
+        for k in 0..n {
+            if k == i || k == j {
+                continue;
+            }
+            let pk = assignment[k];
+            delta += (self.flow[i][k] + self.flow[k][i]) * (self.distance[pj][pk] - self.distance[pi][pk]);
+            delta += (self.flow[j][k] + self.flow[k][j]) * (self.distance[pi][pk] - self.distance[pj][pk]);
+        }
+        delta += self.flow[i][j] * (self.distance[pj][pi] - self.distance[pi][pj]);
+        delta += self.flow[j][i] * (self.distance[pi][pj] - self.distance[pj][pi]);
+        delta
+    }
+
+    /// A random assignment of facilities to distinct locations.
+    pub fn random_assignment<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
+        let mut locations: Vec<usize> = (0..self.num_locations()).collect();
+        locations.shuffle(rng);
+        locations.truncate(self.num_facilities());
+        locations
+    }
+
+    /// The identity ("trivial") assignment mapping facility `i` to location `i`.
+    pub fn trivial_assignment(&self) -> Vec<usize> {
+        (0..self.num_facilities()).collect()
+    }
+
+    /// Verifies that an assignment is injective and within range.
+    pub fn is_valid_assignment(&self, assignment: &[usize]) -> bool {
+        if assignment.len() != self.num_facilities() {
+            return false;
+        }
+        let mut seen = vec![false; self.num_locations()];
+        for &loc in assignment {
+            if loc >= self.num_locations() || seen[loc] {
+                return false;
+            }
+            seen[loc] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_problem() -> QapProblem {
+        // 3 facilities on a 4-location path graph.
+        let hw = DistanceMatrix::floyd_warshall(&Graph::path(4));
+        QapProblem::from_interactions(3, &[(0, 1), (1, 2), (0, 1)], &hw)
+    }
+
+    #[test]
+    fn flow_counts_interactions_symmetrically() {
+        let p = small_problem();
+        assert_eq!(p.flow(0, 1), 2.0);
+        assert_eq!(p.flow(1, 0), 2.0);
+        assert_eq!(p.flow(1, 2), 1.0);
+        assert_eq!(p.flow(0, 2), 0.0);
+        assert_eq!(p.num_facilities(), 3);
+        assert_eq!(p.num_locations(), 4);
+    }
+
+    #[test]
+    fn cost_of_adjacent_placement_is_minimal() {
+        let p = small_problem();
+        // Facilities 0,1,2 on consecutive path locations: every interacting
+        // pair is adjacent, cost = 2·(2·1) + 2·(1·1) = 6 (flow counted both ways).
+        let lined_up = vec![0, 1, 2];
+        assert_eq!(p.cost(&lined_up), 6.0);
+        // Spreading qubit 1 away increases the cost.
+        let spread = vec![0, 3, 1];
+        assert!(p.cost(&spread) > p.cost(&lined_up));
+    }
+
+    #[test]
+    fn swap_delta_matches_full_recomputation() {
+        let p = small_problem();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = p.random_assignment(&mut rng);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let mut swapped = a.clone();
+                    swapped.swap(i, j);
+                    let delta = p.swap_delta(&a, i, j);
+                    let expected = p.cost(&swapped) - p.cost(&a);
+                    assert!(
+                        (delta - expected).abs() < 1e-9,
+                        "delta mismatch for swap ({i},{j}): {delta} vs {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_assignments_are_valid() {
+        let p = small_problem();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let a = p.random_assignment(&mut rng);
+            assert!(p.is_valid_assignment(&a));
+        }
+        assert!(p.is_valid_assignment(&p.trivial_assignment()));
+        assert!(!p.is_valid_assignment(&[0, 0, 1]));
+        assert!(!p.is_valid_assignment(&[0, 1]));
+        assert!(!p.is_valid_assignment(&[0, 1, 9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many locations")]
+    fn rejects_too_few_locations() {
+        let hw = DistanceMatrix::floyd_warshall(&Graph::path(2));
+        let _ = QapProblem::from_interactions(3, &[(0, 1)], &hw);
+    }
+}

@@ -1,0 +1,141 @@
+//! Random d-regular graph generation (configuration / pairing model).
+//!
+//! The QAOA-REG-d benchmarks of the paper solve MaxCut on random d-regular
+//! graphs (3-regular for the main evaluation, 4/8/12-regular for the
+//! Paulihedral comparison in Table III), with 10 random instances per
+//! problem size.
+
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates a random simple `d`-regular graph on `n` vertices using the
+/// configuration (pairing) model with rejection of self-loops and parallel
+/// edges.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d ≥ n` (no simple d-regular graph exists), or
+/// if a valid pairing cannot be found after a large number of attempts
+/// (which for the modest sizes used in the benchmarks does not happen).
+pub fn random_regular_graph<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph to exist");
+    assert!(d < n, "degree must be smaller than the number of vertices");
+    if d == 0 {
+        return Graph::new(n);
+    }
+    const MAX_ATTEMPTS: usize = 10_000;
+    for _ in 0..MAX_ATTEMPTS {
+        if let Some(g) = try_pairing(n, d, rng) {
+            return g;
+        }
+    }
+    panic!("failed to generate a simple {d}-regular graph on {n} vertices");
+}
+
+/// One attempt of stub matching in the style of Steger–Wormald: repeatedly
+/// join two *valid* stubs chosen uniformly at random (no self-loops, no
+/// parallel edges) until every vertex reaches degree `d`, or fail if the
+/// remaining stubs admit no valid pair (the caller then restarts).
+///
+/// Unlike naive configuration-model rejection sampling, this remains
+/// practical for the denser QAOA-REG-8 / QAOA-REG-12 benchmark graphs.
+fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Graph> {
+    let mut g = Graph::new(n);
+    let mut remaining: Vec<usize> = vec![d; n];
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    while !stubs.is_empty() {
+        stubs.shuffle(rng);
+        // Try to find a valid pair among the shuffled stubs.
+        let mut found = None;
+        'outer: for i in 0..stubs.len() {
+            for j in (i + 1)..stubs.len() {
+                let (a, b) = (stubs[i], stubs[j]);
+                if a != b && !g.has_edge(a, b) {
+                    found = Some((i, j));
+                    break 'outer;
+                }
+            }
+        }
+        let (i, j) = found?;
+        let (a, b) = (stubs[i], stubs[j]);
+        g.add_edge(a, b);
+        remaining[a] -= 1;
+        remaining[b] -= 1;
+        // Remove the larger index first so the smaller one stays valid.
+        stubs.swap_remove(j.max(i));
+        stubs.swap_remove(j.min(i));
+    }
+    Some(g)
+}
+
+/// Generates the `count` random d-regular instances used for one benchmark
+/// point (the paper samples 10 instances per problem size).
+pub fn random_regular_instances<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Graph> {
+    (0..count).map(|_| random_regular_graph(n, d, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_regular_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(n, d) in &[(4, 3), (8, 3), (10, 3), (12, 4), (20, 3), (20, 8)] {
+            let g = random_regular_graph(n, d, &mut rng);
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), n * d / 2);
+            for v in 0..n {
+                assert_eq!(g.degree(v), d, "vertex {v} of ({n},{d})");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_regular_graph_is_edgeless() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_regular_graph(6, 0, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn instances_are_independent_samples() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let instances = random_regular_instances(10, 3, 10, &mut rng);
+        assert_eq!(instances.len(), 10);
+        // At least two of the ten instances should differ (overwhelmingly likely).
+        assert!(instances.iter().any(|g| g != &instances[0]));
+        for g in &instances {
+            assert_eq!(g.num_edges(), 15);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g1 = random_regular_graph(12, 3, &mut StdRng::seed_from_u64(5));
+        let g2 = random_regular_graph(12, 3, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_degree_sum() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_regular_graph(5, 3, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than")]
+    fn rejects_degree_too_large() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_regular_graph(4, 4, &mut rng);
+    }
+}

@@ -1,0 +1,32 @@
+//! 2-local qubit Hamiltonians, benchmark model generators and
+//! Trotterization for the 2QAN reproduction.
+//!
+//! The paper (Eq. 3) targets Hamiltonians of the form
+//! `H = Σ_{(u,v)∈E} H_{uv} + Σ_{k∈V} H_k`, i.e. sums of two-qubit and
+//! single-qubit terms over an interaction graph `G(V, E)`.  The benchmark
+//! families of §IV are:
+//!
+//! * the transverse-field Ising, XY and Heisenberg models on a linear array
+//!   with nearest-neighbour **and** next-nearest-neighbour couplings
+//!   (`NNN Ising`, `NNN XY`, `NNN Heisenberg`), coefficients sampled from
+//!   `(0, π)`, `2n − 3` two-qubit operators per Trotter step,
+//! * Heisenberg models on 1-D/2-D/3-D lattices (Table III), and
+//! * QAOA for MaxCut on random d-regular graphs (`QAOA-REG-d`).
+//!
+//! The time evolution is implemented with the product formula
+//! `(Π_j exp(i h_j H_j t/r))^r`; [`trotterize`] builds the corresponding
+//! circuits in the application-level IR of `twoqan-circuit`.
+
+#![deny(missing_docs)]
+
+pub mod hamiltonian;
+pub mod models;
+pub mod qaoa;
+pub mod trotter;
+
+pub use hamiltonian::{Hamiltonian, SingleQubitTerm, TwoQubitTerm};
+pub use models::{
+    heisenberg_lattice, nnn_heisenberg, nnn_ising, nnn_xy, LatticeDimensions,
+};
+pub use qaoa::QaoaProblem;
+pub use trotter::{trotter_step, trotterize};

@@ -1,0 +1,155 @@
+//! The device noise model used in place of real-hardware execution.
+//!
+//! A circuit with `G₂` native two-qubit gates, `G₁` single-qubit gates,
+//! depth `D` and `n` measured qubits executed on a device with two-qubit
+//! error `e₂`, single-qubit error `e₁`, read-out error `e_r`, gate times and
+//! coherence times `T1/T2` is assigned the success probability
+//!
+//! ```text
+//! F = (1 − e₂)^G₂ · (1 − e₁)^G₁ · (1 − e_r)^n · F_idle(D)
+//! ```
+//!
+//! and the noisy expectation of a traceless observable is estimated with the
+//! global depolarizing approximation `⟨C⟩_noisy ≈ F · ⟨C⟩_ideal` (the fully
+//! mixed state contributes 0).  This reproduces the property Fig. 10
+//! demonstrates: compilations with fewer hardware gates and shallower
+//! circuits retain a larger fraction of the ideal signal, and performance
+//! decays towards the random-guessing value as circuits grow.
+
+use twoqan_circuit::HardwareMetrics;
+use twoqan_device::{Calibration, Device};
+
+/// A global-depolarizing noise model derived from device calibration data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    calibration: Calibration,
+}
+
+impl NoiseModel {
+    /// Builds the noise model of a device.
+    pub fn from_device(device: &Device) -> Self {
+        Self {
+            calibration: *device.calibration(),
+        }
+    }
+
+    /// Builds a noise model from explicit calibration data.
+    pub fn from_calibration(calibration: Calibration) -> Self {
+        Self { calibration }
+    }
+
+    /// A noiseless model (fidelity 1 for every circuit).
+    pub fn noiseless() -> Self {
+        Self {
+            calibration: Calibration::noiseless(),
+        }
+    }
+
+    /// The underlying calibration.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Estimated probability that the whole circuit executes without any
+    /// error, given its hardware metrics and the number of measured qubits.
+    pub fn circuit_fidelity(&self, metrics: &HardwareMetrics, measured_qubits: usize) -> f64 {
+        let c = &self.calibration;
+        let two_qubit = c.two_qubit_fidelity().powi(metrics.hardware_two_qubit_count as i32);
+        // Single-qubit gates: the explicit rotations plus the layers the
+        // decomposition interleaves between native gates (estimated as one
+        // rotation per native two-qubit gate per qubit).
+        let single_count = metrics.explicit_single_qubit_count + 2 * metrics.hardware_two_qubit_count;
+        let single_qubit = c.single_qubit_fidelity().powi(single_count as i32);
+        let readout = (1.0 - c.readout_error).powi(measured_qubits as i32);
+        let idle_time_ns = metrics.hardware_two_qubit_depth as f64 * c.two_qubit_gate_ns
+            + metrics.total_depth_estimate as f64 * c.single_qubit_gate_ns;
+        // Decoherence is modelled as a single aggregate factor for the whole
+        // circuit duration.  (Raising it to the qubit count would double-count
+        // errors that the per-gate fidelities already capture and pushes every
+        // >10-qubit circuit to zero, which is more pessimistic than the
+        // hardware behaviour reported in Fig. 10.)
+        let idle = c.idle_survival(idle_time_ns);
+        two_qubit * single_qubit * readout * idle
+    }
+
+    /// The noisy expectation of a traceless observable under the global
+    /// depolarizing approximation.
+    pub fn noisy_expectation(&self, ideal_expectation: f64, metrics: &HardwareMetrics, measured_qubits: usize) -> f64 {
+        self.circuit_fidelity(metrics, measured_qubits) * ideal_expectation
+    }
+
+    /// The error probability of one native two-qubit gate (used by the
+    /// trajectory sampler).
+    pub fn two_qubit_error(&self) -> f64 {
+        self.calibration.two_qubit_error
+    }
+
+    /// The per-qubit read-out error probability.
+    pub fn readout_error(&self) -> f64 {
+        self.calibration.readout_error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoqan_circuit::{Gate, ScheduledCircuit};
+    use twoqan_device::TwoQubitBasis;
+
+    fn metrics_of(gates: &[Gate], n: usize) -> HardwareMetrics {
+        let s = ScheduledCircuit::asap_from_gates(n, gates);
+        HardwareMetrics::of(&s, TwoQubitBasis::Cnot.cost_model())
+    }
+
+    #[test]
+    fn noiseless_model_gives_unit_fidelity() {
+        let m = metrics_of(&[Gate::canonical(0, 1, 0.0, 0.0, 0.3)], 2);
+        let model = NoiseModel::noiseless();
+        assert_eq!(model.circuit_fidelity(&m, 2), 1.0);
+        assert_eq!(model.noisy_expectation(0.7, &m, 2), 0.7);
+    }
+
+    #[test]
+    fn fidelity_decreases_with_gate_count() {
+        let small = metrics_of(&[Gate::canonical(0, 1, 0.0, 0.0, 0.3)], 4);
+        let large = metrics_of(
+            &[
+                Gate::canonical(0, 1, 0.0, 0.0, 0.3),
+                Gate::canonical(2, 3, 0.0, 0.0, 0.3),
+                Gate::swap(1, 2),
+                Gate::canonical(0, 3, 0.0, 0.0, 0.3),
+            ],
+            4,
+        );
+        let model = NoiseModel::from_device(&Device::montreal());
+        let f_small = model.circuit_fidelity(&small, 4);
+        let f_large = model.circuit_fidelity(&large, 4);
+        assert!(f_small > f_large);
+        assert!(f_small > 0.0 && f_small < 1.0);
+    }
+
+    #[test]
+    fn fidelity_decreases_with_measured_qubits() {
+        let m = metrics_of(&[Gate::canonical(0, 1, 0.0, 0.0, 0.3)], 8);
+        let model = NoiseModel::from_device(&Device::montreal());
+        assert!(model.circuit_fidelity(&m, 2) > model.circuit_fidelity(&m, 8));
+    }
+
+    #[test]
+    fn noisy_expectation_shrinks_towards_zero() {
+        let m = metrics_of(
+            &(0..10).map(|i| Gate::canonical(i, i + 1, 0.0, 0.0, 0.3)).collect::<Vec<_>>(),
+            11,
+        );
+        let model = NoiseModel::from_device(&Device::montreal());
+        let noisy = model.noisy_expectation(-5.0, &m, 11);
+        assert!(noisy > -5.0 && noisy < 0.0);
+    }
+
+    #[test]
+    fn calibration_accessors() {
+        let model = NoiseModel::from_calibration(Calibration::montreal_october_2021());
+        assert!((model.two_qubit_error() - 0.01241).abs() < 1e-12);
+        assert!((model.readout_error() - 0.01832).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Stochastic Pauli-error ("quantum trajectory") simulation.
+//!
+//! The analytic depolarizing model of [`crate::noise`] estimates the noisy
+//! expectation as `F · ⟨C⟩_ideal`.  This module provides an independent
+//! Monte-Carlo check: each shot applies the compiled circuit and, after
+//! every two-qubit operation, injects a random two-qubit Pauli error with a
+//! probability derived from the gate's native-gate count.  Read-out errors
+//! flip each measured expectation contribution with the calibrated
+//! probability.  Averaging over shots yields a noisy `⟨C⟩` estimate that the
+//! tests compare against the analytic model.
+
+use crate::noise::NoiseModel;
+use crate::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twoqan_circuit::ScheduledCircuit;
+use twoqan_device::TwoQubitBasis;
+use twoqan_math::pauli::Pauli;
+
+/// A Monte-Carlo Pauli-error simulator for compiled circuits.
+#[derive(Debug, Clone)]
+pub struct TrajectorySimulator {
+    noise: NoiseModel,
+    basis: TwoQubitBasis,
+    shots: usize,
+    seed: u64,
+}
+
+impl TrajectorySimulator {
+    /// Creates a trajectory simulator.
+    pub fn new(noise: NoiseModel, basis: TwoQubitBasis, shots: usize, seed: u64) -> Self {
+        Self { noise, basis, shots, seed }
+    }
+
+    /// Number of shots per estimate.
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Estimates the noisy expectation of the Ising cost `Σ Z_uZ_v` over
+    /// `edges` after executing `schedule` starting from `|+⟩^{⊗n}` — the
+    /// QAOA setting.  `edges` are given in terms of the *physical* qubits the
+    /// logical cost-graph vertices were mapped to.
+    pub fn ising_cost_expectation(
+        &self,
+        schedule: &ScheduledCircuit,
+        edges: &[(usize, usize)],
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = schedule.num_qubits();
+        let error_per_native_gate = self.noise.two_qubit_error();
+        let readout = self.noise.readout_error();
+        let mut total = 0.0;
+        for _ in 0..self.shots {
+            let mut state = StateVector::plus_state(n);
+            for gate in schedule.iter_gates() {
+                state.apply_gate(gate);
+                if gate.is_two_qubit() {
+                    let native = gate.kind.hardware_two_qubit_cost(self.basis.cost_model());
+                    let error_probability = 1.0 - (1.0 - error_per_native_gate).powi(native as i32);
+                    if rng.gen::<f64>() < error_probability {
+                        inject_random_pauli(&mut state, gate.qubit0(), gate.qubit1(), &mut rng);
+                    }
+                }
+            }
+            let mut shot_value = 0.0;
+            for &(u, v) in edges {
+                let mut zz = state.expectation_zz(u, v);
+                // Read-out errors flip each of the two measured qubits
+                // independently; a single flip inverts the parity.
+                let flip_parity = readout * (1.0 - readout) * 2.0;
+                zz *= 1.0 - 2.0 * flip_parity;
+                shot_value += zz;
+            }
+            total += shot_value;
+        }
+        total / self.shots as f64
+    }
+}
+
+/// Applies a uniformly random non-identity two-qubit Pauli error.
+fn inject_random_pauli<R: Rng + ?Sized>(state: &mut StateVector, a: usize, b: usize, rng: &mut R) {
+    loop {
+        let pa = Pauli::ALL[rng.gen_range(0..4)];
+        let pb = Pauli::ALL[rng.gen_range(0..4)];
+        if pa == Pauli::I && pb == Pauli::I {
+            continue;
+        }
+        if pa != Pauli::I {
+            state.apply_single(a, &pa.matrix());
+        }
+        if pb != Pauli::I {
+            state.apply_single(b, &pb.matrix());
+        }
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoqan_circuit::{Gate, GateKind, ScheduledCircuit};
+    use twoqan_device::{Calibration, Device};
+
+    /// One QAOA layer on a 4-cycle, already "compiled" (the cycle embeds in
+    /// any of the devices, so the physical circuit equals the logical one).
+    fn ring_schedule(gamma: f64, beta: f64) -> (ScheduledCircuit, Vec<(usize, usize)>) {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
+        let mut gates = Vec::new();
+        for &(u, v) in &edges {
+            gates.push(Gate::canonical(u, v, 0.0, 0.0, gamma));
+        }
+        for q in 0..4 {
+            gates.push(Gate::single(GateKind::Rx(2.0 * beta), q));
+        }
+        (ScheduledCircuit::asap_from_gates(4, &gates), edges)
+    }
+
+    #[test]
+    fn noiseless_trajectories_match_exact_simulation() {
+        let (schedule, edges) = ring_schedule(0.6157, std::f64::consts::FRAC_PI_8);
+        let sim = TrajectorySimulator::new(NoiseModel::noiseless(), TwoQubitBasis::Cnot, 3, 7);
+        let value = sim.ising_cost_expectation(&schedule, &edges);
+        // Exact reference.
+        let mut state = StateVector::plus_state(4);
+        state.apply_scheduled(&schedule);
+        let exact = state.ising_cost_expectation(&edges);
+        assert!((value - exact).abs() < 1e-9, "trajectories {value} vs exact {exact}");
+        assert!(exact < 0.0);
+    }
+
+    #[test]
+    fn noisy_trajectories_shrink_the_signal() {
+        let (schedule, edges) = ring_schedule(0.6157, std::f64::consts::FRAC_PI_8);
+        let mut state = StateVector::plus_state(4);
+        state.apply_scheduled(&schedule);
+        let exact = state.ising_cost_expectation(&edges);
+
+        // An exaggerated error rate so that 60 shots show the effect clearly.
+        let noisy_calibration = Calibration {
+            two_qubit_error: 0.15,
+            ..Calibration::montreal_october_2021()
+        };
+        let sim = TrajectorySimulator::new(
+            NoiseModel::from_calibration(noisy_calibration),
+            TwoQubitBasis::Cnot,
+            60,
+            11,
+        );
+        let noisy = sim.ising_cost_expectation(&schedule, &edges);
+        assert!(noisy > exact, "noise must shrink the (negative) cost towards 0: {noisy} vs {exact}");
+        assert!(noisy < 0.5, "noisy estimate should stay well below random-plus-noise levels");
+    }
+
+    #[test]
+    fn trajectory_estimates_track_the_analytic_model() {
+        let (schedule, edges) = ring_schedule(0.6157, std::f64::consts::FRAC_PI_8);
+        let device = Device::montreal();
+        let noise = NoiseModel::from_device(&device);
+        let metrics = twoqan_circuit::HardwareMetrics::of(&schedule, TwoQubitBasis::Cnot.cost_model());
+        let mut state = StateVector::plus_state(4);
+        state.apply_scheduled(&schedule);
+        let ideal = state.ising_cost_expectation(&edges);
+        let analytic = noise.noisy_expectation(ideal, &metrics, 4);
+        let sim = TrajectorySimulator::new(noise, TwoQubitBasis::Cnot, 200, 3);
+        let sampled = sim.ising_cost_expectation(&schedule, &edges);
+        // Both must lie between the ideal value and zero, reasonably close
+        // to each other (the trajectory model has no idle decoherence term).
+        assert!(analytic >= ideal && analytic <= 0.0);
+        assert!(sampled >= ideal - 0.2 && sampled <= 0.1);
+        assert!((sampled - analytic).abs() < 0.6);
+    }
+
+    #[test]
+    fn shots_accessor() {
+        let sim = TrajectorySimulator::new(NoiseModel::noiseless(), TwoQubitBasis::Cnot, 17, 0);
+        assert_eq!(sim.shots(), 17);
+    }
+}

