@@ -90,7 +90,8 @@ impl GenericCompiler {
         } else {
             (0..unified.num_qubits()).collect::<Vec<usize>>()
         };
-        let physical_gates = route_in_order(&unified, device, &mut placement, self.config.lookahead);
+        let physical_gates =
+            route_in_order(&unified, device, &mut placement, self.config.lookahead);
         let schedule = ScheduledCircuit::asap_from_gates(device.num_qubits(), &physical_gates);
         BaselineResult::new(self.config.name, schedule, device)
     }
@@ -142,7 +143,7 @@ fn line_placement(circuit: &Circuit, device: &Device) -> Vec<usize> {
 fn route_in_order(
     circuit: &Circuit,
     device: &Device,
-    placement: &mut Vec<usize>,
+    placement: &mut [usize],
     lookahead: usize,
 ) -> Vec<Gate> {
     let gates: Vec<Gate> = circuit.iter().copied().collect();
@@ -245,10 +246,7 @@ mod tests {
             let r = compiler.compile(&circuit, &device);
             assert!(r.hardware_compatible(&device), "{}", r.compiler);
             // All 17 application gates survive (never merged into SWAPs).
-            assert_eq!(
-                r.metrics.application_two_qubit_count - r.swap_count(),
-                17
-            );
+            assert_eq!(r.metrics.application_two_qubit_count - r.swap_count(), 17);
             assert_eq!(r.metrics.dressed_swap_count, 0);
         }
     }
@@ -260,8 +258,12 @@ mod tests {
         for seed in 0..5u64 {
             let circuit = trotter_step(&nnn_ising(12, seed), 1.0);
             let device = Device::montreal();
-            qiskit_total += GenericCompiler::qiskit_like().compile(&circuit, &device).swap_count();
-            tket_total += GenericCompiler::tket_like().compile(&circuit, &device).swap_count();
+            qiskit_total += GenericCompiler::qiskit_like()
+                .compile(&circuit, &device)
+                .swap_count();
+            tket_total += GenericCompiler::tket_like()
+                .compile(&circuit, &device)
+                .swap_count();
         }
         assert!(
             tket_total <= qiskit_total,

@@ -156,7 +156,11 @@ mod tests {
         let device = Device::grid(2, 3, twoqan_device::TwoQubitBasis::Cnot);
         let r = IcQaoaCompiler::default().compile(&circuit, &device);
         assert!(r.hardware_compatible(&device));
-        assert_eq!(r.swap_count(), 0, "grid-matching problem should need no SWAPs");
+        assert_eq!(
+            r.swap_count(),
+            0,
+            "grid-matching problem should need no SWAPs"
+        );
     }
 
     #[test]
@@ -167,6 +171,9 @@ mod tests {
         let a = IcQaoaCompiler::new(5).compile(&circuit, &device);
         let b = IcQaoaCompiler::new(5).compile(&circuit, &device);
         assert_eq!(a.swap_count(), b.swap_count());
-        assert_eq!(a.metrics.hardware_two_qubit_count, b.metrics.hardware_two_qubit_count);
+        assert_eq!(
+            a.metrics.hardware_two_qubit_count,
+            b.metrics.hardware_two_qubit_count
+        );
     }
 }

@@ -85,7 +85,12 @@ mod tests {
     #[test]
     fn heisenberg_baseline_costs_three_gates_per_pair_in_all_bases() {
         let circuit = trotter_step(&nnn_heisenberg(8, 2), 1.0);
-        for basis in [TwoQubitBasis::Cnot, TwoQubitBasis::Syc, TwoQubitBasis::ISwap, TwoQubitBasis::Cz] {
+        for basis in [
+            TwoQubitBasis::Cnot,
+            TwoQubitBasis::Syc,
+            TwoQubitBasis::ISwap,
+            TwoQubitBasis::Cz,
+        ] {
             let r = NoMapCompiler::new().compile(&circuit, basis);
             assert_eq!(r.metrics.hardware_two_qubit_count, 3 * 13, "basis {basis}");
         }

@@ -59,7 +59,12 @@ impl PaulihedralCompiler {
 
     /// Compiles a Hamiltonian's single Trotter step onto a
     /// connectivity-constrained device.
-    pub fn compile_hamiltonian(&self, hamiltonian: &Hamiltonian, dt: f64, device: &Device) -> BaselineResult {
+    pub fn compile_hamiltonian(
+        &self,
+        hamiltonian: &Hamiltonian,
+        dt: f64,
+        device: &Device,
+    ) -> BaselineResult {
         let circuit = self.block_ordered_circuit(hamiltonian, dt);
         self.compile(&circuit, device)
     }
@@ -67,13 +72,12 @@ impl PaulihedralCompiler {
     /// Compiles an already-built circuit onto a device using block ordering
     /// plus order-respecting routing.
     pub fn compile(&self, circuit: &Circuit, device: &Device) -> BaselineResult {
-        let mut result =
-            GenericCompiler::new(GenericConfig {
-                line_placement: true,
-                lookahead: 3,
-                name: "Paulihedral-like",
-            })
-            .compile(circuit, device);
+        let mut result = GenericCompiler::new(GenericConfig {
+            line_placement: true,
+            lookahead: 3,
+            name: "Paulihedral-like",
+        })
+        .compile(circuit, device);
         result.compiler = "Paulihedral-like".into();
         result
     }
@@ -87,7 +91,12 @@ impl PaulihedralCompiler {
     /// as 2QAN, it ties 2QAN on the all-to-all Heisenberg rows of Table III;
     /// the 1.5–1.7× gate-count gap the paper reports for the 2-D/3-D
     /// lattices is therefore under-reproduced (recorded in EXPERIMENTS.md).
-    pub fn compile_all_to_all(&self, hamiltonian: &Hamiltonian, dt: f64, basis: twoqan_device::TwoQubitBasis) -> BaselineResult {
+    pub fn compile_all_to_all(
+        &self,
+        hamiltonian: &Hamiltonian,
+        dt: f64,
+        basis: twoqan_device::TwoQubitBasis,
+    ) -> BaselineResult {
         let circuit = self.block_ordered_circuit(hamiltonian, dt);
         let schedule = color_schedule(&circuit);
         let metrics = twoqan_circuit::HardwareMetrics::of(&schedule, basis.cost_model());

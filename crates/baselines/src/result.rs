@@ -20,7 +20,11 @@ pub struct BaselineResult {
 
 impl BaselineResult {
     /// Builds a result by computing metrics for the device's default basis.
-    pub fn new(compiler: impl Into<String>, hardware_circuit: ScheduledCircuit, device: &Device) -> Self {
+    pub fn new(
+        compiler: impl Into<String>,
+        hardware_circuit: ScheduledCircuit,
+        device: &Device,
+    ) -> Self {
         let basis = device.default_basis();
         let metrics = HardwareMetrics::of(&hardware_circuit, basis.cost_model());
         Self {

@@ -27,7 +27,9 @@ fn variants() -> Vec<(&'static str, TwoQanConfig)> {
         (
             "no dressed SWAPs",
             TwoQanConfig {
-                routing: RoutingConfig { enable_dressing: false },
+                routing: RoutingConfig {
+                    enable_dressing: false,
+                },
                 ..base.clone()
             },
         ),
@@ -75,7 +77,9 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation of the 2QAN design choices",
-        &["workload", "device", "variant", "SWAPs", "dressed", "2q gates", "2q depth"],
+        &[
+            "workload", "device", "variant", "SWAPs", "dressed", "2q gates", "2q depth",
+        ],
     );
     for (kind, n, device) in cases {
         let workload = Workload::generate(kind, n, 0);

@@ -1,0 +1,160 @@
+//! Emits `BENCH_compiler.json`: the saved compile-time baseline that the
+//! perf trajectory is measured against.
+//!
+//! For every size n = 10/20/40/80 it times the three compiler passes
+//! (mapping, routing, scheduling) and the end-to-end pipeline on the same
+//! circuits as the `compiler_passes` criterion bench, and writes the median
+//! wall-clock milliseconds to JSON.  Usage:
+//!
+//! ```text
+//! cargo run --release -p twoqan-bench --bin bench_baseline [--samples N] [--out PATH]
+//! ```
+//!
+//! Defaults: 9 samples per measurement, output to `BENCH_compiler.json` in
+//! the current directory.  See `BENCHMARKS.md` for how to compare a run
+//! against the checked-in baseline.
+
+use std::time::Instant;
+use twoqan::mapping::{initial_mapping, InitialMappingStrategy};
+use twoqan::routing::{route, RoutingConfig};
+use twoqan::scheduling::{schedule, SchedulingStrategy};
+use twoqan::{TwoQanCompiler, TwoQanConfig};
+use twoqan_bench::{scaling_device, SCALING_SIZES};
+use twoqan_ham::{nnn_heisenberg, trotter_step};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Median wall-clock milliseconds of `samples` runs of `f`.
+fn median_ms<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    // One warm-up run (populates the device distance cache etc.).
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    times[times.len() / 2]
+}
+
+struct Entry {
+    n: usize,
+    device: String,
+    mapping_ms: f64,
+    routing_ms: f64,
+    scheduling_ms: f64,
+    end_to_end_ms: f64,
+}
+
+fn measure(n: usize, samples: usize) -> Entry {
+    let device = scaling_device(n);
+    let circuit = trotter_step(&nnn_heisenberg(n, 1), 1.0);
+
+    let mapping_ms = median_ms(samples, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        initial_mapping(
+            &circuit,
+            &device,
+            InitialMappingStrategy::TabuSearch,
+            &mut rng,
+        )
+        .unwrap();
+    });
+
+    let map = {
+        let mut rng = StdRng::seed_from_u64(3);
+        initial_mapping(
+            &circuit,
+            &device,
+            InitialMappingStrategy::TabuSearch,
+            &mut rng,
+        )
+        .unwrap()
+    };
+    let routing_ms = median_ms(samples, || {
+        let mut rng = StdRng::seed_from_u64(5);
+        route(&circuit, &device, &map, &RoutingConfig::default(), &mut rng).unwrap();
+    });
+
+    let routed = {
+        let mut rng = StdRng::seed_from_u64(5);
+        route(&circuit, &device, &map, &RoutingConfig::default(), &mut rng).unwrap()
+    };
+    let scheduling_ms = median_ms(samples, || {
+        schedule(&routed, &device, SchedulingStrategy::Hybrid);
+    });
+
+    let compiler = TwoQanCompiler::new(TwoQanConfig {
+        mapping_trials: 1,
+        ..TwoQanConfig::default()
+    });
+    let end_to_end_ms = median_ms(samples, || {
+        compiler.compile(&circuit, &device).unwrap();
+    });
+
+    Entry {
+        n,
+        device: device.name().to_string(),
+        mapping_ms,
+        routing_ms,
+        scheduling_ms,
+        end_to_end_ms,
+    }
+}
+
+fn main() {
+    let mut samples = 9usize;
+    let mut out = String::from("BENCH_compiler.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--samples" => {
+                samples = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--samples needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument {other}; supported: --samples N, --out PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let entries: Vec<Entry> = SCALING_SIZES.iter().map(|&n| measure(n, samples)).collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"compiler_passes\",\n");
+    json.push_str("  \"workload\": \"nnn_heisenberg trotter step, seed 1\",\n");
+    json.push_str("  \"unit\": \"ms (median wall clock)\",\n");
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"device\": \"{}\", \"mapping_ms\": {:.3}, \"routing_ms\": {:.3}, \"scheduling_ms\": {:.3}, \"end_to_end_ms\": {:.3}}}{}\n",
+            e.n,
+            e.device,
+            e.mapping_ms,
+            e.routing_ms,
+            e.scheduling_ms,
+            e.end_to_end_ms,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("writing the baseline file");
+    println!("{json}");
+    println!("wrote {out}");
+}

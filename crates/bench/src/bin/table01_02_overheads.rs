@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p twoqan-bench --bin table01_02_overheads [--quick]`
 
 use twoqan_bench::compilers::CompilerKind;
-use twoqan_bench::figures::{main_workloads, overhead_reduction_table, quick_mode, run_compilation_sweep};
+use twoqan_bench::figures::{
+    main_workloads, overhead_reduction_table, quick_mode, run_compilation_sweep,
+};
 use twoqan_device::Device;
 
 fn main() {
@@ -14,13 +16,21 @@ fn main() {
     for device in [Device::sycamore(), Device::aspen(), Device::montreal()] {
         let rows = run_compilation_sweep(&device, &main_workloads(), quick, instance_cap);
         overhead_reduction_table(
-            &format!("Table I ({}, {} basis): overhead reduction of 2QAN vs t|ket>-like", device.name(), device.default_basis()),
+            &format!(
+                "Table I ({}, {} basis): overhead reduction of 2QAN vs t|ket>-like",
+                device.name(),
+                device.default_basis()
+            ),
             &rows,
             CompilerKind::TketLike,
         )
         .print();
         overhead_reduction_table(
-            &format!("Table II ({}, {} basis): overhead reduction of 2QAN vs Qiskit-like", device.name(), device.default_basis()),
+            &format!(
+                "Table II ({}, {} basis): overhead reduction of 2QAN vs Qiskit-like",
+                device.name(),
+                device.default_basis()
+            ),
             &rows,
             CompilerKind::QiskitLike,
         )

@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p twoqan-bench --bin table04_05_cz [--quick]`
 
 use twoqan_bench::compilers::CompilerKind;
-use twoqan_bench::figures::{main_workloads, overhead_reduction_table, quick_mode, run_compilation_sweep};
+use twoqan_bench::figures::{
+    main_workloads, overhead_reduction_table, quick_mode, run_compilation_sweep,
+};
 use twoqan_device::{Device, TwoQubitBasis};
 
 fn main() {

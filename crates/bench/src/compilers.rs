@@ -55,7 +55,11 @@ impl CompilerKind {
 
     /// Compiles `circuit` for `device` and returns the scheduled hardware
     /// circuit together with its metrics for the device's default basis.
-    pub fn compile(&self, circuit: &Circuit, device: &Device) -> (ScheduledCircuit, HardwareMetrics) {
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+    ) -> (ScheduledCircuit, HardwareMetrics) {
         match self {
             CompilerKind::TwoQan => {
                 let result = TwoQanCompiler::new(TwoQanConfig::default())
@@ -235,7 +239,10 @@ mod tests {
         let row = MetricsRow::new("NNN-XY", &device, CompilerKind::TwoQan, 8, 0, &ours, &base);
         assert!(row.gate_overhead() >= 0.0);
         let line = row.csv_line();
-        assert_eq!(line.split(',').count(), MetricsRow::csv_header().split(',').count());
+        assert_eq!(
+            line.split(',').count(),
+            MetricsRow::csv_header().split(',').count()
+        );
         assert!(line.starts_with("NNN-XY,"));
     }
 

@@ -88,8 +88,20 @@ pub fn report_figure(figure: &str, device: &Device, rows: &[MetricsRow]) -> Vec<
     workloads.dedup();
     for workload in workloads {
         let mut table = Table::new(
-            format!("{figure}: {workload} on {} ({} basis)", device.name(), device.default_basis()),
-            &["qubits", "compiler", "SWAPs", "dressed", "2q gates", "2q depth", "total depth"],
+            format!(
+                "{figure}: {workload} on {} ({} basis)",
+                device.name(),
+                device.default_basis()
+            ),
+            &[
+                "qubits",
+                "compiler",
+                "SWAPs",
+                "dressed",
+                "2q gates",
+                "2q depth",
+                "total depth",
+            ],
         );
         // Group by (qubits, compiler) and average over instances.
         let mut groups: BTreeMap<(usize, String), Vec<&MetricsRow>> = BTreeMap::new();
@@ -122,14 +134,18 @@ pub fn report_figure(figure: &str, device: &Device, rows: &[MetricsRow]) -> Vec<
 /// Builds the overhead-reduction table (Tables I/II/IV/V): for each workload,
 /// the average and maximum ratio of `other`'s overhead to 2QAN's overhead in
 /// SWAP count, hardware gate count and two-qubit depth.
-pub fn overhead_reduction_table(
-    title: &str,
-    rows: &[MetricsRow],
-    other: CompilerKind,
-) -> Table {
+pub fn overhead_reduction_table(title: &str, rows: &[MetricsRow], other: CompilerKind) -> Table {
     let mut table = Table::new(
         title,
-        &["workload", "SWAPs avg", "SWAPs max", "2q gates avg", "2q gates max", "2q depth avg", "2q depth max"],
+        &[
+            "workload",
+            "SWAPs avg",
+            "SWAPs max",
+            "2q gates avg",
+            "2q gates max",
+            "2q depth avg",
+            "2q depth max",
+        ],
     );
     let mut workloads: Vec<String> = rows.iter().map(|r| r.workload.clone()).collect();
     workloads.sort();
@@ -139,9 +155,12 @@ pub fn overhead_reduction_table(
         let mut gate_ratios = Vec::new();
         let mut depth_ratios = Vec::new();
         // Group by (qubits, instance): pair the other compiler's row with 2QAN's.
-        let mut points: BTreeMap<(usize, usize), (Option<&MetricsRow>, Option<&MetricsRow>)> = BTreeMap::new();
+        type RowPair<'a> = (Option<&'a MetricsRow>, Option<&'a MetricsRow>);
+        let mut points: BTreeMap<(usize, usize), RowPair> = BTreeMap::new();
         for row in rows.iter().filter(|r| r.workload == workload) {
-            let entry = points.entry((row.qubits, row.instance)).or_insert((None, None));
+            let entry = points
+                .entry((row.qubits, row.instance))
+                .or_insert((None, None));
             if row.compiler == CompilerKind::TwoQan.name() {
                 entry.0 = Some(row);
             } else if row.compiler == other.name() {
@@ -149,7 +168,9 @@ pub fn overhead_reduction_table(
             }
         }
         for (ours, theirs) in points.values() {
-            let (Some(ours), Some(theirs)) = (ours, theirs) else { continue };
+            let (Some(ours), Some(theirs)) = (ours, theirs) else {
+                continue;
+            };
             let ratio = |a: f64, b: f64| if b > 1e-9 { Some(a / b) } else { None };
             if let Some(r) = ratio(theirs.swaps as f64, ours.swaps as f64) {
                 swap_ratios.push(r);
@@ -207,7 +228,13 @@ impl FidelityRow {
     pub fn csv_line(&self) -> String {
         format!(
             "{},{},{},{},{:.6},{:.6},{:.6}",
-            self.qubits, self.instance, self.layers, self.compiler, self.fidelity, self.ideal_normalized, self.noisy_normalized
+            self.qubits,
+            self.instance,
+            self.layers,
+            self.compiler,
+            self.fidelity,
+            self.ideal_normalized,
+            self.noisy_normalized
         )
     }
 }
@@ -218,7 +245,11 @@ impl FidelityRow {
 ///
 /// The per-layer overhead is the compiled single-layer overhead multiplied
 /// by the layer count, exactly as the paper scales its multi-layer circuits.
-pub fn run_qaoa_fidelity(sizes: &[usize], instances: usize, layer_counts: &[usize]) -> Vec<FidelityRow> {
+pub fn run_qaoa_fidelity(
+    sizes: &[usize],
+    instances: usize,
+    layer_counts: &[usize],
+) -> Vec<FidelityRow> {
     let device = Device::montreal();
     let noise = NoiseModel::from_device(&device);
     let mut rows = Vec::new();
@@ -238,7 +269,8 @@ pub fn run_qaoa_fidelity(sizes: &[usize], instances: usize, layer_counts: &[usiz
             for &layers in layer_counts {
                 let params = optimize_angles(&problem, layers, 8);
                 // The ideal expectation is compiler-independent: simulate once.
-                let ideal_expectation = twoqan_sim::qaoa_eval::ideal_cost_expectation(&problem, &params);
+                let ideal_expectation =
+                    twoqan_sim::qaoa_eval::ideal_cost_expectation(&problem, &params);
                 let ideal_normalized = ideal_expectation / cost_minimum;
                 for (compiler, metrics) in &compiled {
                     let scaled = scale_metrics(metrics, layers);
@@ -294,7 +326,10 @@ pub fn report_fidelity(figure: &str, rows: &[FidelityRow]) -> Table {
     );
     let mut groups: BTreeMap<(usize, usize, String), Vec<&FidelityRow>> = BTreeMap::new();
     for r in rows {
-        groups.entry((r.layers, r.qubits, r.compiler.clone())).or_default().push(r);
+        groups
+            .entry((r.layers, r.qubits, r.compiler.clone()))
+            .or_default()
+            .push(r);
     }
     for ((layers, qubits, compiler), group) in groups {
         let avg_f = group.iter().map(|r| r.fidelity).sum::<f64>() / group.len() as f64;
@@ -317,14 +352,23 @@ pub fn report_fidelity(figure: &str, rows: &[FidelityRow]) -> Table {
 pub fn run_table3() -> Table {
     let mut table = Table::new(
         "Table III: circuit size comparison with the Paulihedral-style compiler",
-        &["benchmark", "Paulihedral CNOTs", "Paulihedral depth", "2QAN CNOTs", "2QAN depth"],
+        &[
+            "benchmark",
+            "Paulihedral CNOTs",
+            "Paulihedral depth",
+            "2QAN CNOTs",
+            "2QAN depth",
+        ],
     );
     let paulihedral = PaulihedralCompiler::new();
     // Heisenberg lattices, 30 qubits, all-to-all connectivity.
     let lattices = [
         ("Heisenberg-1D (30 qubits)", LatticeDimensions::OneD(30)),
         ("Heisenberg-2D (30 qubits)", LatticeDimensions::TwoD(5, 6)),
-        ("Heisenberg-3D (30 qubits)", LatticeDimensions::ThreeD(2, 3, 5)),
+        (
+            "Heisenberg-3D (30 qubits)",
+            LatticeDimensions::ThreeD(2, 3, 5),
+        ),
     ];
     for (name, dims) in lattices {
         let h = heisenberg_lattice(dims, 3);
@@ -430,14 +474,21 @@ mod tests {
         let rows = run_compilation_sweep(&device, &[WorkloadKind::NnnIsing], true, 1);
         assert!(!rows.is_empty());
         for compiler in CompilerKind::GENERAL {
-            assert!(rows.iter().any(|r| r.compiler == compiler.name()), "{compiler}");
+            assert!(
+                rows.iter().any(|r| r.compiler == compiler.name()),
+                "{compiler}"
+            );
         }
         // Every 2QAN row must have at most as many SWAPs as the matching
         // Qiskit-like row.
         for row in rows.iter().filter(|r| r.compiler == "2QAN") {
             let other = rows
                 .iter()
-                .find(|r| r.compiler == "Qiskit-like" && r.qubits == row.qubits && r.instance == row.instance)
+                .find(|r| {
+                    r.compiler == "Qiskit-like"
+                        && r.qubits == row.qubits
+                        && r.instance == row.instance
+                })
                 .unwrap();
             assert!(row.swaps <= other.swaps);
         }
@@ -447,7 +498,12 @@ mod tests {
     fn overhead_table_has_one_row_per_workload() {
         let device = Device::aspen();
         let mut rows = run_compilation_sweep(&device, &[WorkloadKind::NnnIsing], true, 1);
-        rows.extend(run_compilation_sweep(&device, &[WorkloadKind::NnnXy], true, 1));
+        rows.extend(run_compilation_sweep(
+            &device,
+            &[WorkloadKind::NnnXy],
+            true,
+            1,
+        ));
         let table = overhead_reduction_table("test", &rows, CompilerKind::QiskitLike);
         assert_eq!(table.num_rows(), 2);
     }
@@ -474,7 +530,10 @@ mod tests {
         let w = Workload::generate(WorkloadKind::QaoaRegular(3), 6, 0);
         let (_, m) = CompilerKind::TwoQan.compile(&w.circuit, &device);
         let scaled = scale_metrics(&m, 3);
-        assert_eq!(scaled.hardware_two_qubit_count, 3 * m.hardware_two_qubit_count);
+        assert_eq!(
+            scaled.hardware_two_qubit_count,
+            3 * m.hardware_two_qubit_count
+        );
         assert_eq!(scaled.swap_count, 3 * m.swap_count);
     }
 }

@@ -25,4 +25,4 @@ pub mod workloads;
 
 pub use compilers::{CompilerKind, MetricsRow};
 pub use report::{write_csv, Table};
-pub use workloads::{Workload, WorkloadKind};
+pub use workloads::{scaling_device, Workload, WorkloadKind, SCALING_SIZES};

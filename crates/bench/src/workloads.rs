@@ -1,7 +1,24 @@
 //! Benchmark workload generators (§IV of the paper).
 
 use twoqan_circuit::Circuit;
+use twoqan_device::{Device, TwoQubitBasis};
 use twoqan_ham::{nnn_heisenberg, nnn_ising, nnn_xy, trotter_step, QaoaProblem};
+
+/// The problem sizes of the §V-D compiler-pass scalability sweep, shared by
+/// the `compiler_passes` criterion bench and the `bench_baseline` binary so
+/// the checked-in `BENCH_compiler.json` always tracks what the bench
+/// measures.
+pub const SCALING_SIZES: [usize; 4] = [10, 20, 40, 80];
+
+/// The smallest stock device a size-`n` scalability workload fits on:
+/// Sycamore up to its 54 qubits, a 9×9 grid beyond.
+pub fn scaling_device(n: usize) -> Device {
+    if n <= 54 {
+        Device::sycamore()
+    } else {
+        Device::grid(9, 9, TwoQubitBasis::Cnot)
+    }
+}
 
 /// The benchmark families evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -173,7 +190,13 @@ mod tests {
         let a = Workload::generate(WorkloadKind::QaoaRegular(3), 10, 0);
         let b = Workload::generate(WorkloadKind::QaoaRegular(3), 10, 1);
         let a2 = Workload::generate(WorkloadKind::QaoaRegular(3), 10, 0);
-        assert_eq!(a.circuit.two_qubit_signature(), a2.circuit.two_qubit_signature());
-        assert_ne!(a.circuit.two_qubit_signature(), b.circuit.two_qubit_signature());
+        assert_eq!(
+            a.circuit.two_qubit_signature(),
+            a2.circuit.two_qubit_signature()
+        );
+        assert_ne!(
+            a.circuit.two_qubit_signature(),
+            b.circuit.two_qubit_signature()
+        );
     }
 }

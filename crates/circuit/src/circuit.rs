@@ -217,7 +217,12 @@ impl Circuit {
 
 impl std::fmt::Display for Circuit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "circuit on {} qubits, {} gates:", self.num_qubits, self.gate_count())?;
+        writeln!(
+            f,
+            "circuit on {} qubits, {} gates:",
+            self.num_qubits,
+            self.gate_count()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }

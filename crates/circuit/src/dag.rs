@@ -103,7 +103,12 @@ impl DependencyDag {
 
     /// Critical-path depth (number of levels).
     pub fn depth(&self) -> usize {
-        self.asap_levels().iter().copied().max().map(|d| d + 1).unwrap_or(0)
+        self.asap_levels()
+            .iter()
+            .copied()
+            .max()
+            .map(|d| d + 1)
+            .unwrap_or(0)
     }
 }
 
@@ -124,7 +129,10 @@ fn schedule_by_levels(circuit: &Circuit, levels: &[usize]) -> ScheduledCircuit {
     let mut moments = vec![Moment::new(); depth];
     for (i, gate) in circuit.gates().iter().enumerate() {
         let placed = moments[levels[i]].try_push(*gate);
-        debug_assert!(placed, "level scheduling placed conflicting gates in one moment");
+        debug_assert!(
+            placed,
+            "level scheduling placed conflicting gates in one moment"
+        );
     }
     let moments = moments.into_iter().filter(|m| !m.is_empty()).collect();
     ScheduledCircuit::from_moments(circuit.num_qubits(), moments)

@@ -97,7 +97,10 @@ impl GateKind {
     /// passes are free to permute (canonical gates and dressed SWAPs carry
     /// a circuit gate; plain SWAPs and hardware gates do not).
     pub fn is_application_unitary(&self) -> bool {
-        matches!(self, GateKind::Canonical { .. } | GateKind::DressedSwap { .. })
+        matches!(
+            self,
+            GateKind::Canonical { .. } | GateKind::DressedSwap { .. }
+        )
     }
 
     /// The 2×2 matrix of a single-qubit kind.
@@ -201,8 +204,16 @@ impl Gate {
     ///
     /// Panics if `kind` is a two-qubit kind.
     pub fn single(kind: GateKind, qubit: Qubit) -> Self {
-        assert_eq!(kind.arity(), 1, "{} is not a single-qubit gate", kind.name());
-        Self { kind, qubits: [qubit, qubit] }
+        assert_eq!(
+            kind.arity(),
+            1,
+            "{} is not a single-qubit gate",
+            kind.name()
+        );
+        Self {
+            kind,
+            qubits: [qubit, qubit],
+        }
     }
 
     /// Creates a two-qubit gate.
@@ -213,7 +224,10 @@ impl Gate {
     pub fn two(kind: GateKind, a: Qubit, b: Qubit) -> Self {
         assert_eq!(kind.arity(), 2, "{} is not a two-qubit gate", kind.name());
         assert_ne!(a, b, "two-qubit gate requires distinct qubits");
-        Self { kind, qubits: [a, b] }
+        Self {
+            kind,
+            qubits: [a, b],
+        }
     }
 
     /// Convenience constructor for a canonical two-local exponential.
@@ -251,7 +265,10 @@ impl Gate {
     ///
     /// Panics if this is a single-qubit gate.
     pub fn qubit1(&self) -> Qubit {
-        assert!(self.is_two_qubit(), "single-qubit gate has no second operand");
+        assert!(
+            self.is_two_qubit(),
+            "single-qubit gate has no second operand"
+        );
         self.qubits[1]
     }
 
@@ -294,7 +311,13 @@ impl Gate {
 impl std::fmt::Display for Gate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_two_qubit() {
-            write!(f, "{} q{},q{}", self.kind.name(), self.qubits[0], self.qubits[1])
+            write!(
+                f,
+                "{} q{},q{}",
+                self.kind.name(),
+                self.qubits[0],
+                self.qubits[1]
+            )
         } else {
             write!(f, "{} q{}", self.kind.name(), self.qubits[0])
         }
@@ -311,9 +334,24 @@ mod tests {
         assert_eq!(GateKind::Rz(0.3).arity(), 1);
         assert_eq!(GateKind::Cnot.arity(), 2);
         assert!(GateKind::Swap.is_swap_like());
-        assert!(GateKind::DressedSwap { xx: 0.0, yy: 0.0, zz: 0.1 }.is_swap_like());
-        assert!(!GateKind::Canonical { xx: 0.0, yy: 0.0, zz: 0.1 }.is_swap_like());
-        assert!(GateKind::Canonical { xx: 0.1, yy: 0.0, zz: 0.0 }.is_application_unitary());
+        assert!(GateKind::DressedSwap {
+            xx: 0.0,
+            yy: 0.0,
+            zz: 0.1
+        }
+        .is_swap_like());
+        assert!(!GateKind::Canonical {
+            xx: 0.0,
+            yy: 0.0,
+            zz: 0.1
+        }
+        .is_swap_like());
+        assert!(GateKind::Canonical {
+            xx: 0.1,
+            yy: 0.0,
+            zz: 0.0
+        }
+        .is_application_unitary());
         assert!(!GateKind::Cnot.is_application_unitary());
     }
 
@@ -337,8 +375,16 @@ mod tests {
             GateKind::Swap,
             GateKind::ISwap,
             GateKind::Syc,
-            GateKind::Canonical { xx: 0.3, yy: 0.2, zz: 0.1 },
-            GateKind::DressedSwap { xx: 0.0, yy: 0.0, zz: 0.4 },
+            GateKind::Canonical {
+                xx: 0.3,
+                yy: 0.2,
+                zz: 0.1,
+            },
+            GateKind::DressedSwap {
+                xx: 0.0,
+                yy: 0.0,
+                zz: 0.4,
+            },
         ] {
             assert!(kind.two_qubit_matrix().is_unitary(1e-10), "{kind:?}");
         }
@@ -347,22 +393,46 @@ mod tests {
     #[test]
     fn hardware_costs_match_paper_examples() {
         // QAOA / Ising ZZ term: 2 CNOTs.
-        let zz = GateKind::Canonical { xx: 0.0, yy: 0.0, zz: 0.4 };
+        let zz = GateKind::Canonical {
+            xx: 0.0,
+            yy: 0.0,
+            zz: 0.4,
+        };
         assert_eq!(zz.hardware_two_qubit_cost(TwoQubitBasisCost::Cnot), 2);
         // Plain SWAP and dressed SWAP: 3 CNOTs (Fig. 5).
-        assert_eq!(GateKind::Swap.hardware_two_qubit_cost(TwoQubitBasisCost::Cnot), 3);
-        let dressed = GateKind::DressedSwap { xx: 0.0, yy: 0.0, zz: 0.4 };
+        assert_eq!(
+            GateKind::Swap.hardware_two_qubit_cost(TwoQubitBasisCost::Cnot),
+            3
+        );
+        let dressed = GateKind::DressedSwap {
+            xx: 0.0,
+            yy: 0.0,
+            zz: 0.4,
+        };
         assert_eq!(dressed.hardware_two_qubit_cost(TwoQubitBasisCost::Cnot), 3);
         // Heisenberg term: 3 native gates in every basis.
-        let heis = GateKind::Canonical { xx: 0.3, yy: 0.2, zz: 0.1 };
+        let heis = GateKind::Canonical {
+            xx: 0.3,
+            yy: 0.2,
+            zz: 0.1,
+        };
         for basis in TwoQubitBasisCost::ALL {
             assert_eq!(heis.hardware_two_qubit_cost(basis), 3);
         }
         // Single-qubit gates cost no two-qubit gates.
-        assert_eq!(GateKind::Rx(0.1).hardware_two_qubit_cost(TwoQubitBasisCost::Cnot), 0);
+        assert_eq!(
+            GateKind::Rx(0.1).hardware_two_qubit_cost(TwoQubitBasisCost::Cnot),
+            0
+        );
         // A native gate costs exactly one in its own basis.
-        assert_eq!(GateKind::Syc.hardware_two_qubit_cost(TwoQubitBasisCost::Syc), 1);
-        assert_eq!(GateKind::Cnot.hardware_two_qubit_cost(TwoQubitBasisCost::Cnot), 1);
+        assert_eq!(
+            GateKind::Syc.hardware_two_qubit_cost(TwoQubitBasisCost::Syc),
+            1
+        );
+        assert_eq!(
+            GateKind::Cnot.hardware_two_qubit_cost(TwoQubitBasisCost::Cnot),
+            1
+        );
     }
 
     #[test]

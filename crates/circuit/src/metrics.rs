@@ -162,8 +162,14 @@ impl OverheadReduction {
         }
         Self {
             swaps: ratio(other.swap_overhead, reference.swap_overhead),
-            two_qubit_gates: ratio(other.two_qubit_gate_overhead, reference.two_qubit_gate_overhead),
-            two_qubit_depth: ratio(other.two_qubit_depth_overhead, reference.two_qubit_depth_overhead),
+            two_qubit_gates: ratio(
+                other.two_qubit_gate_overhead,
+                reference.two_qubit_gate_overhead,
+            ),
+            two_qubit_depth: ratio(
+                other.two_qubit_depth_overhead,
+                reference.two_qubit_depth_overhead,
+            ),
         }
     }
 }
@@ -197,7 +203,15 @@ mod tests {
     #[test]
     fn dressed_swaps_count_as_swaps_and_cost_three() {
         let gates = vec![
-            Gate::two(GateKind::DressedSwap { xx: 0.0, yy: 0.0, zz: 0.2 }, 0, 1),
+            Gate::two(
+                GateKind::DressedSwap {
+                    xx: 0.0,
+                    yy: 0.0,
+                    zz: 0.2,
+                },
+                0,
+                1,
+            ),
             Gate::swap(2, 3),
         ];
         let m = HardwareMetrics::of(&schedule(&gates, 4), TwoQubitBasisCost::Cnot);
@@ -213,7 +227,15 @@ mod tests {
         // so merging a SWAP into it adds no hardware gates — the effect behind
         // the paper's "negligible overhead" entries.
         let plain = vec![Gate::canonical(0, 1, 0.3, 0.2, 0.1)];
-        let dressed = vec![Gate::two(GateKind::DressedSwap { xx: 0.3, yy: 0.2, zz: 0.1 }, 0, 1)];
+        let dressed = vec![Gate::two(
+            GateKind::DressedSwap {
+                xx: 0.3,
+                yy: 0.2,
+                zz: 0.1,
+            },
+            0,
+            1,
+        )];
         let mp = HardwareMetrics::of(&schedule(&plain, 2), TwoQubitBasisCost::Syc);
         let md = HardwareMetrics::of(&schedule(&dressed, 2), TwoQubitBasisCost::Syc);
         assert_eq!(mp.hardware_two_qubit_count, md.hardware_two_qubit_count);

@@ -77,7 +77,10 @@ impl ScheduledCircuit {
 
     /// Creates a scheduled circuit from explicit moments.
     pub fn from_moments(num_qubits: usize, moments: Vec<Moment>) -> Self {
-        Self { num_qubits, moments }
+        Self {
+            num_qubits,
+            moments,
+        }
     }
 
     /// Number of qubits.
@@ -116,7 +119,10 @@ impl ScheduledCircuit {
     /// two-qubit gate (the paper's "depth of two-qubit gates" metric at the
     /// application level).
     pub fn two_qubit_depth(&self) -> usize {
-        self.moments.iter().filter(|m| m.has_two_qubit_gate()).count()
+        self.moments
+            .iter()
+            .filter(|m| m.has_two_qubit_gate())
+            .count()
     }
 
     /// Iterates over all gates in execution order.

@@ -2,19 +2,27 @@
 
 use crate::decompose::hardware_metrics;
 use crate::error::CompileError;
-use crate::mapping::{initial_mapping, InitialMappingStrategy, QubitMap};
+use crate::mapping::{initial_mapping_with, InitialMappingStrategy, MappingConfig, QubitMap};
 use crate::routing::{route, RoutedCircuit, RoutingConfig};
 use crate::scheduling::{schedule, SchedulingStrategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use twoqan_circuit::{Circuit, Gate, GateKind, HardwareMetrics, Moment, ScheduledCircuit};
 use twoqan_device::{Device, TwoQubitBasis};
+use twoqan_graphs::{AnnealingConfig, TabuConfig};
 
 /// Configuration of the 2QAN compiler.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TwoQanConfig {
     /// Initial-placement strategy (§III-A).
     pub mapping_strategy: InitialMappingStrategy,
+    /// Tabu-search parameters for the mapping pass, so callers can trade
+    /// placement quality for compile time instead of getting hard-coded
+    /// defaults.
+    pub tabu: TabuConfig,
+    /// Simulated-annealing parameters for the mapping pass (used with
+    /// [`InitialMappingStrategy::SimulatedAnnealing`]).
+    pub annealing: AnnealingConfig,
     /// How many independent mapping + routing trials to run; the result with
     /// the fewest SWAPs (then fewest hardware gates) is kept.  The paper runs
     /// the randomised mapping pass 5 times and keeps the best result.
@@ -34,11 +42,24 @@ impl Default for TwoQanConfig {
     fn default() -> Self {
         Self {
             mapping_strategy: InitialMappingStrategy::TabuSearch,
+            tabu: TabuConfig::default(),
+            annealing: AnnealingConfig::default(),
             mapping_trials: 3,
             routing: RoutingConfig::default(),
             scheduling: SchedulingStrategy::Hybrid,
             seed: 2021,
             unify_input: true,
+        }
+    }
+}
+
+impl TwoQanConfig {
+    /// The mapping-pass configuration implied by this compiler config.
+    pub fn mapping_config(&self) -> MappingConfig {
+        MappingConfig {
+            strategy: self.mapping_strategy,
+            tabu: self.tabu.clone(),
+            annealing: self.annealing.clone(),
         }
     }
 }
@@ -87,7 +108,12 @@ impl CompilationResult {
     /// multiplied by `gamma_scale` and single-qubit rotation angles by
     /// `beta_scale`, so per-layer QAOA parameters can be substituted without
     /// recompiling.
-    pub fn layer_schedule(&self, gamma_scale: f64, beta_scale: f64, reversed: bool) -> ScheduledCircuit {
+    pub fn layer_schedule(
+        &self,
+        gamma_scale: f64,
+        beta_scale: f64,
+        reversed: bool,
+    ) -> ScheduledCircuit {
         let moments: Vec<Moment> = self.hardware_circuit.moments().to_vec();
         let iter: Box<dyn Iterator<Item = &Moment>> = if reversed {
             Box::new(moments.iter().rev())
@@ -113,12 +139,20 @@ impl CompilationResult {
 fn scale_gate(gate: &Gate, gamma_scale: f64, beta_scale: f64) -> Gate {
     match gate.kind {
         GateKind::Canonical { xx, yy, zz } => Gate::two(
-            GateKind::Canonical { xx: xx * gamma_scale, yy: yy * gamma_scale, zz: zz * gamma_scale },
+            GateKind::Canonical {
+                xx: xx * gamma_scale,
+                yy: yy * gamma_scale,
+                zz: zz * gamma_scale,
+            },
             gate.qubit0(),
             gate.qubit1(),
         ),
         GateKind::DressedSwap { xx, yy, zz } => Gate::two(
-            GateKind::DressedSwap { xx: xx * gamma_scale, yy: yy * gamma_scale, zz: zz * gamma_scale },
+            GateKind::DressedSwap {
+                xx: xx * gamma_scale,
+                yy: yy * gamma_scale,
+                zz: zz * gamma_scale,
+            },
             gate.qubit0(),
             gate.qubit1(),
         ),
@@ -153,17 +187,22 @@ impl TwoQanCompiler {
     /// Returns [`CompileError::TooManyQubits`] if the circuit does not fit on
     /// the device, and propagates routing failures (which do not occur on
     /// connected devices).
-    pub fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompilationResult, CompileError> {
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+    ) -> Result<CompilationResult, CompileError> {
         let prepared = if self.config.unify_input {
             circuit.unify_same_pair_gates()
         } else {
             circuit.clone()
         };
         let trials = self.config.mapping_trials.max(1);
+        let mapping_config = self.config.mapping_config();
         let mut best: Option<CompilationResult> = None;
         for trial in 0..trials {
             let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(trial as u64));
-            let map = initial_mapping(&prepared, device, self.config.mapping_strategy, &mut rng)?;
+            let map = initial_mapping_with(&prepared, device, &mapping_config, &mut rng)?;
             let routed = route(&prepared, device, &map, &self.config.routing, &mut rng)?;
             let hardware_circuit = schedule(&routed, device, self.config.scheduling);
             let metrics = hardware_metrics(&hardware_circuit, device.default_basis());
@@ -177,8 +216,15 @@ impl TwoQanCompiler {
             let better = match &best {
                 None => true,
                 Some(b) => {
-                    (candidate.metrics.swap_count, candidate.metrics.hardware_two_qubit_count, candidate.metrics.hardware_two_qubit_depth)
-                        < (b.metrics.swap_count, b.metrics.hardware_two_qubit_count, b.metrics.hardware_two_qubit_depth)
+                    (
+                        candidate.metrics.swap_count,
+                        candidate.metrics.hardware_two_qubit_count,
+                        candidate.metrics.hardware_two_qubit_depth,
+                    ) < (
+                        b.metrics.swap_count,
+                        b.metrics.hardware_two_qubit_count,
+                        b.metrics.hardware_two_qubit_depth,
+                    )
                 }
             };
             if better {
@@ -254,7 +300,9 @@ mod tests {
     #[test]
     fn rejects_oversized_circuits() {
         let circuit = trotter_step(&nnn_ising(20, 1), 1.0);
-        let err = TwoQanCompiler::default().compile(&circuit, &Device::aspen()).unwrap_err();
+        let err = TwoQanCompiler::default()
+            .compile(&circuit, &Device::aspen())
+            .unwrap_err();
         assert!(matches!(err, CompileError::TooManyQubits { .. }));
     }
 
@@ -285,21 +333,65 @@ mod tests {
         assert!((scaled_zz - 2.0 * original_zz).abs() < 1e-9);
         let reversed = result.layer_schedule(1.0, 1.0, true);
         assert_eq!(reversed.gate_count(), forward.gate_count());
-        let first_forward = result.hardware_circuit.moments().first().unwrap().gates().len();
+        let first_forward = result
+            .hardware_circuit
+            .moments()
+            .first()
+            .unwrap()
+            .gates()
+            .len();
         let last_reversed = reversed.moments().last().unwrap().gates().len();
         assert_eq!(first_forward, last_reversed);
+    }
+
+    #[test]
+    fn solver_configs_flow_through_the_compiler() {
+        let circuit = trotter_step(&nnn_heisenberg(10, 9), 1.0);
+        let device = Device::montreal();
+        // A starved Tabu budget must still produce a valid compilation…
+        let starved = TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 1,
+            tabu: twoqan_graphs::TabuConfig {
+                max_iterations: 1,
+                restarts: 1,
+                ..twoqan_graphs::TabuConfig::default()
+            },
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
+        assert!(starved.hardware_compatible(&device));
+        // …and the annealing config reaches the annealing solver.
+        let annealed = TwoQanCompiler::new(TwoQanConfig {
+            mapping_strategy: InitialMappingStrategy::SimulatedAnnealing,
+            mapping_trials: 1,
+            annealing: twoqan_graphs::AnnealingConfig {
+                restarts: 2,
+                ..twoqan_graphs::AnnealingConfig::default()
+            },
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
+        assert!(annealed.hardware_compatible(&device));
     }
 
     #[test]
     fn more_mapping_trials_never_hurt() {
         let circuit = trotter_step(&nnn_heisenberg(10, 9), 1.0);
         let device = Device::montreal();
-        let one = TwoQanCompiler::new(TwoQanConfig { mapping_trials: 1, ..TwoQanConfig::default() })
-            .compile(&circuit, &device)
-            .unwrap();
-        let five = TwoQanCompiler::new(TwoQanConfig { mapping_trials: 5, ..TwoQanConfig::default() })
-            .compile(&circuit, &device)
-            .unwrap();
+        let one = TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 1,
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
+        let five = TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 5,
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
         assert!(five.swap_count() <= one.swap_count());
     }
 }

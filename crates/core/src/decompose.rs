@@ -59,7 +59,12 @@ pub fn decompose_to_cnot_exact(schedule: &ScheduledCircuit) -> Result<Circuit, C
                 if xx == 0.0 && yy == 0.0 {
                     emit_synth(&mut out, &synthesis::zz_circuit(zz), a, b);
                 } else {
-                    emit_synth(&mut out, &synthesis::canonical_circuit_reference(xx, yy, zz), a, b);
+                    emit_synth(
+                        &mut out,
+                        &synthesis::canonical_circuit_reference(xx, yy, zz),
+                        a,
+                        b,
+                    );
                 }
             }
             GateKind::DressedSwap { xx, yy, zz } => {
@@ -68,7 +73,12 @@ pub fn decompose_to_cnot_exact(schedule: &ScheduledCircuit) -> Result<Circuit, C
                 } else {
                     // Exact but non-optimal: SWAP followed by the canonical part
                     // (the metrics still use the optimal 3-gate count).
-                    emit_synth(&mut out, &synthesis::canonical_circuit_reference(xx, yy, zz), a, b);
+                    emit_synth(
+                        &mut out,
+                        &synthesis::canonical_circuit_reference(xx, yy, zz),
+                        a,
+                        b,
+                    );
                     emit_synth(&mut out, &synthesis::swap_circuit(), a, b);
                 }
             }
@@ -91,8 +101,14 @@ fn emit_synth(out: &mut Circuit, fragment: &[SynthGate], a: usize, b: usize) {
     for sg in fragment {
         match *sg {
             SynthGate::H(i) => out.push(Gate::single(GateKind::H, q(i))),
-            SynthGate::S(i) => out.push(Gate::single(GateKind::Rz(std::f64::consts::FRAC_PI_2), q(i))),
-            SynthGate::Sdg(i) => out.push(Gate::single(GateKind::Rz(-std::f64::consts::FRAC_PI_2), q(i))),
+            SynthGate::S(i) => out.push(Gate::single(
+                GateKind::Rz(std::f64::consts::FRAC_PI_2),
+                q(i),
+            )),
+            SynthGate::Sdg(i) => out.push(Gate::single(
+                GateKind::Rz(-std::f64::consts::FRAC_PI_2),
+                q(i),
+            )),
             SynthGate::Rz(i, t) => out.push(Gate::single(GateKind::Rz(t), q(i))),
             SynthGate::Rx(i, t) => out.push(Gate::single(GateKind::Rx(t), q(i))),
             SynthGate::Ry(i, t) => out.push(Gate::single(GateKind::Ry(t), q(i))),
@@ -134,7 +150,15 @@ mod tests {
     #[test]
     fn dressed_zz_swaps_decompose_into_three_cnots() {
         let s = schedule_of(
-            vec![Gate::two(GateKind::DressedSwap { xx: 0.0, yy: 0.0, zz: 0.4 }, 1, 2)],
+            vec![Gate::two(
+                GateKind::DressedSwap {
+                    xx: 0.0,
+                    yy: 0.0,
+                    zz: 0.4,
+                },
+                1,
+                2,
+            )],
             4,
         );
         let c = decompose_to_cnot_exact(&s).unwrap();

@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn errors_render_useful_messages() {
-        let e = CompileError::TooManyQubits { circuit: 30, device: 27 };
+        let e = CompileError::TooManyQubits {
+            circuit: 30,
+            device: 27,
+        };
         assert!(e.to_string().contains("30"));
         assert!(e.to_string().contains("27"));
         let e = CompileError::UnsupportedGate {

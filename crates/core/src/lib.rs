@@ -50,5 +50,5 @@ pub mod scheduling;
 
 pub use compiler::{CompilationResult, TwoQanCompiler, TwoQanConfig};
 pub use error::CompileError;
-pub use mapping::{InitialMappingStrategy, QubitMap};
-pub use routing::{RoutedCircuit, RoutingStage, SwapAction};
+pub use mapping::{InitialMappingStrategy, MappingConfig, QubitMap};
+pub use routing::{RoutedCircuit, RoutingConfig, RoutingStage, SwapAction};

@@ -17,9 +17,32 @@ use crate::error::CompileError;
 use rand::Rng;
 use twoqan_circuit::Circuit;
 use twoqan_device::Device;
-use twoqan_graphs::{
-    simulated_annealing, tabu_search, AnnealingConfig, QapProblem, TabuConfig,
-};
+use twoqan_graphs::{simulated_annealing, tabu_search, AnnealingConfig, QapProblem, TabuConfig};
+
+/// Full configuration of the mapping pass: the strategy plus the solver
+/// parameters, so callers (and benches) can tune mapping effort instead of
+/// relying on the solvers' hard-coded defaults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MappingConfig {
+    /// Which solver finds the placement.
+    pub strategy: InitialMappingStrategy,
+    /// Tabu-search parameters (used when `strategy` is
+    /// [`InitialMappingStrategy::TabuSearch`]).
+    pub tabu: TabuConfig,
+    /// Simulated-annealing parameters (used when `strategy` is
+    /// [`InitialMappingStrategy::SimulatedAnnealing`]).
+    pub annealing: AnnealingConfig,
+}
+
+impl MappingConfig {
+    /// A configuration using `strategy` with default solver parameters.
+    pub fn with_strategy(strategy: InitialMappingStrategy) -> Self {
+        Self {
+            strategy,
+            ..Self::default()
+        }
+    }
+}
 
 /// A bidirectional mapping between circuit (logical) qubits and hardware
 /// (physical) qubits.
@@ -39,7 +62,10 @@ impl QubitMap {
     pub fn from_assignment(assignment: &[usize], num_physical: usize) -> Self {
         let mut physical_to_logical = vec![None; num_physical];
         for (logical, &physical) in assignment.iter().enumerate() {
-            assert!(physical < num_physical, "physical qubit {physical} out of range");
+            assert!(
+                physical < num_physical,
+                "physical qubit {physical} out of range"
+            );
             assert!(
                 physical_to_logical[physical].is_none(),
                 "physical qubit {physical} assigned twice"
@@ -128,7 +154,8 @@ pub enum InitialMappingStrategy {
     Trivial,
 }
 
-/// Finds an initial qubit placement for `circuit` on `device`.
+/// Finds an initial qubit placement for `circuit` on `device` using
+/// `strategy` with default solver parameters.
 ///
 /// # Errors
 ///
@@ -140,25 +167,47 @@ pub fn initial_mapping<R: Rng + ?Sized>(
     strategy: InitialMappingStrategy,
     rng: &mut R,
 ) -> Result<QubitMap, CompileError> {
+    initial_mapping_with(
+        circuit,
+        device,
+        &MappingConfig::with_strategy(strategy),
+        rng,
+    )
+}
+
+/// Finds an initial qubit placement with explicit solver parameters.
+///
+/// # Errors
+///
+/// Returns [`CompileError::TooManyQubits`] if the circuit does not fit on
+/// the device.
+pub fn initial_mapping_with<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    device: &Device,
+    config: &MappingConfig,
+    rng: &mut R,
+) -> Result<QubitMap, CompileError> {
     let n = circuit.num_qubits();
     let m = device.num_qubits();
     if n > m {
-        return Err(CompileError::TooManyQubits { circuit: n, device: m });
+        return Err(CompileError::TooManyQubits {
+            circuit: n,
+            device: m,
+        });
     }
     // The QAP is padded with zero-flow dummy facilities up to the device
     // size so that the pairwise-exchange neighbourhoods of the solvers can
     // also move circuit qubits onto currently unused hardware qubits.
-    let padded_qap = || {
-        QapProblem::from_interactions(m, &circuit.interaction_pairs(), device.distances())
-    };
-    let map = match strategy {
+    let padded_qap =
+        || QapProblem::from_interactions(m, &circuit.interaction_pairs(), device.distances());
+    let map = match config.strategy {
         InitialMappingStrategy::Trivial => QubitMap::identity(n, m),
         InitialMappingStrategy::TabuSearch => {
-            let result = tabu_search(&padded_qap(), &TabuConfig::default(), rng);
+            let result = tabu_search(&padded_qap(), &config.tabu, rng);
             QubitMap::from_assignment(&result.assignment[..n], m)
         }
         InitialMappingStrategy::SimulatedAnnealing => {
-            let result = simulated_annealing(&padded_qap(), &AnnealingConfig::default(), rng);
+            let result = simulated_annealing(&padded_qap(), &config.annealing, rng);
             QubitMap::from_assignment(&result.assignment[..n], m)
         }
     };
@@ -222,7 +271,13 @@ mod tests {
         let circuit = chain_circuit(6);
         let device = Device::grid(2, 3, TwoQubitBasis::Cnot);
         let mut rng = StdRng::seed_from_u64(13);
-        let map = initial_mapping(&circuit, &device, InitialMappingStrategy::TabuSearch, &mut rng).unwrap();
+        let map = initial_mapping(
+            &circuit,
+            &device,
+            InitialMappingStrategy::TabuSearch,
+            &mut rng,
+        )
+        .unwrap();
         // A 6-qubit chain embeds with every gate nearest-neighbour on a 2×3 grid.
         assert_eq!(mapping_cost(&map, &circuit, &device), 5.0);
     }
@@ -232,14 +287,67 @@ mod tests {
         let circuit = chain_circuit(5);
         let device = Device::linear(8, TwoQubitBasis::Cnot);
         let mut rng = StdRng::seed_from_u64(3);
-        let sa = initial_mapping(&circuit, &device, InitialMappingStrategy::SimulatedAnnealing, &mut rng).unwrap();
+        let sa = initial_mapping(
+            &circuit,
+            &device,
+            InitialMappingStrategy::SimulatedAnnealing,
+            &mut rng,
+        )
+        .unwrap();
         // Simulated annealing is a heuristic: it should get close to the
         // optimal cost of 4 (every chain gate adjacent) but is not required
         // to hit it exactly.
         let sa_cost = mapping_cost(&sa, &circuit, &device);
-        assert!((4.0..=6.0).contains(&sa_cost), "unexpected SA cost {sa_cost}");
-        let trivial = initial_mapping(&circuit, &device, InitialMappingStrategy::Trivial, &mut rng).unwrap();
+        assert!(
+            (4.0..=6.0).contains(&sa_cost),
+            "unexpected SA cost {sa_cost}"
+        );
+        let trivial =
+            initial_mapping(&circuit, &device, InitialMappingStrategy::Trivial, &mut rng).unwrap();
         assert_eq!(mapping_cost(&trivial, &circuit, &device), 4.0);
+    }
+
+    #[test]
+    fn tuned_mapping_configs_are_honoured() {
+        let circuit = chain_circuit(6);
+        let device = Device::grid(2, 3, TwoQubitBasis::Cnot);
+        // A deliberately tiny Tabu budget still yields a valid placement.
+        let cheap = MappingConfig {
+            strategy: InitialMappingStrategy::TabuSearch,
+            tabu: TabuConfig {
+                max_iterations: 2,
+                restarts: 1,
+                ..TabuConfig::default()
+            },
+            ..MappingConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let map = initial_mapping_with(&circuit, &device, &cheap, &mut rng).unwrap();
+        assert_eq!(map.num_logical(), 6);
+        // A generous budget reaches the optimum.
+        let thorough = MappingConfig {
+            strategy: InitialMappingStrategy::TabuSearch,
+            tabu: TabuConfig {
+                restarts: 4,
+                ..TabuConfig::default()
+            },
+            ..MappingConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let map = initial_mapping_with(&circuit, &device, &thorough, &mut rng).unwrap();
+        assert_eq!(mapping_cost(&map, &circuit, &device), 5.0);
+        // Annealing restarts plumb through as well.
+        let sa = MappingConfig {
+            strategy: InitialMappingStrategy::SimulatedAnnealing,
+            annealing: AnnealingConfig {
+                restarts: 3,
+                ..AnnealingConfig::default()
+            },
+            ..MappingConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let map = initial_mapping_with(&circuit, &device, &sa, &mut rng).unwrap();
+        assert!(mapping_cost(&map, &circuit, &device) >= 5.0);
     }
 
     #[test]
@@ -247,7 +355,13 @@ mod tests {
         let circuit = trotter_step(&nnn_ising(10, 5), 1.0);
         let device = Device::montreal();
         let mut rng = StdRng::seed_from_u64(1);
-        let map = initial_mapping(&circuit, &device, InitialMappingStrategy::TabuSearch, &mut rng).unwrap();
+        let map = initial_mapping(
+            &circuit,
+            &device,
+            InitialMappingStrategy::TabuSearch,
+            &mut rng,
+        )
+        .unwrap();
         // NNN chains cannot be fully NN-embedded in a heavy-hex lattice, but
         // a good placement keeps the average distance small.
         let cost = mapping_cost(&map, &circuit, &device);
@@ -261,8 +375,20 @@ mod tests {
         let circuit = chain_circuit(20);
         let device = Device::aspen();
         let mut rng = StdRng::seed_from_u64(0);
-        let err = initial_mapping(&circuit, &device, InitialMappingStrategy::TabuSearch, &mut rng).unwrap_err();
-        assert_eq!(err, CompileError::TooManyQubits { circuit: 20, device: 16 });
+        let err = initial_mapping(
+            &circuit,
+            &device,
+            InitialMappingStrategy::TabuSearch,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::TooManyQubits {
+                circuit: 20,
+                device: 16
+            }
+        );
     }
 
     #[test]

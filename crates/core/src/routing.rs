@@ -24,8 +24,10 @@
 use crate::error::CompileError;
 use crate::mapping::QubitMap;
 use rand::Rng;
+use std::collections::HashMap;
 use twoqan_circuit::{Circuit, Gate, GateKind};
 use twoqan_device::Device;
+use twoqan_graphs::DistanceMatrix;
 
 /// A routing SWAP inserted between two stages, possibly merged with a
 /// circuit gate ("dressed").
@@ -137,7 +139,160 @@ pub struct RoutingConfig {
 
 impl Default for RoutingConfig {
     fn default() -> Self {
-        Self { enable_dressing: true }
+        Self {
+            enable_dressing: true,
+        }
+    }
+}
+
+/// The router's mutable hot-path state: one working [`QubitMap`] mutated in
+/// place, the unrouted gates with their per-gate hardware distances, and the
+/// running Eq.-7 cost of the unrouted set.
+///
+/// Distances are integers stored in `f64`s well below 2⁵³, so the
+/// incrementally maintained total is exactly the sum a full recomputation
+/// would produce — candidate scores are bit-identical to the naive
+/// evaluation and the selection (including its tie set) is unchanged.
+struct RouterState<'d> {
+    /// The device's cached all-pairs distance matrix, fetched once so the
+    /// innermost scoring loops skip the per-call `OnceLock` check of
+    /// `Device::distance`.
+    distances: &'d DistanceMatrix,
+    map: QubitMap,
+    unrouted: Vec<Gate>,
+    /// `dist[k]` = hardware distance of `unrouted[k]` under `map`.
+    dist: Vec<u32>,
+    /// Σ `dist[k]` — the Eq.-7 cost of the unrouted set.
+    total_cost: f64,
+    /// For each logical qubit, the indices into `unrouted` of the gates
+    /// acting on it (rebuilt after each accepted SWAP).
+    gates_on: Vec<Vec<usize>>,
+    /// Number of not-yet-merged canonical circuit gates per normalised
+    /// logical pair, counted across the unrouted set *and* the placed
+    /// stages, so the dressing criterion is an O(1) lookup per candidate
+    /// instead of a scan over both.
+    mergeable_counts: HashMap<(usize, usize), usize>,
+}
+
+impl<'d> RouterState<'d> {
+    fn new(map: QubitMap, unrouted: Vec<Gate>, circuit: &Circuit, device: &'d Device) -> Self {
+        let distances = device.distances();
+        let dist: Vec<u32> = unrouted
+            .iter()
+            .map(|g| distances.distance(map.physical(g.qubit0()), map.physical(g.qubit1())))
+            .collect();
+        let total_cost = dist.iter().map(|&d| f64::from(d)).sum();
+        // Every canonical two-qubit gate starts out either placed (stage 0)
+        // or unrouted, and stays mergeable until absorbed into a SWAP.
+        let mut mergeable_counts: HashMap<(usize, usize), usize> = HashMap::new();
+        for g in circuit.two_qubit_gates() {
+            if matches!(g.kind, GateKind::Canonical { .. }) {
+                *mergeable_counts.entry(g.qubit_pair()).or_insert(0) += 1;
+            }
+        }
+        let mut state = Self {
+            distances,
+            map,
+            unrouted,
+            dist,
+            total_cost,
+            gates_on: Vec::new(),
+            mergeable_counts,
+        };
+        state.rebuild_index();
+        state
+    }
+
+    /// Returns `true` if a not-yet-merged canonical circuit gate exists on
+    /// the logical pair `(la, lb)` — in the unrouted set or a placed stage.
+    #[inline]
+    fn has_mergeable(&self, la: usize, lb: usize) -> bool {
+        self.mergeable_counts
+            .get(&(la.min(lb), la.max(lb)))
+            .is_some_and(|&count| count > 0)
+    }
+
+    /// Rebuilds the logical-qubit → unrouted-gate index (O(unrouted)).
+    fn rebuild_index(&mut self) {
+        for list in &mut self.gates_on {
+            list.clear();
+        }
+        self.gates_on.resize(self.map.num_logical(), Vec::new());
+        for (k, g) in self.unrouted.iter().enumerate() {
+            self.gates_on[g.qubit0()].push(k);
+            self.gates_on[g.qubit1()].push(k);
+        }
+    }
+
+    /// The physical location a logical qubit would occupy after swapping the
+    /// physical qubits `a` and `b`, without touching the map.
+    #[inline]
+    fn physical_after(&self, logical: usize, a: usize, b: usize) -> usize {
+        let p = self.map.physical(logical);
+        if p == a {
+            b
+        } else if p == b {
+            a
+        } else {
+            p
+        }
+    }
+
+    /// Distance of `gate` after a hypothetical physical SWAP of `(a, b)`.
+    #[inline]
+    fn gate_distance_after(&self, gate: &Gate, a: usize, b: usize) -> u32 {
+        self.distances.distance(
+            self.physical_after(gate.qubit0(), a, b),
+            self.physical_after(gate.qubit1(), a, b),
+        )
+    }
+
+    /// The Eq.-7 cost of the unrouted set after a hypothetical SWAP of
+    /// `(a, b)`, evaluated as a delta over only the affected gates: the ones
+    /// acting on a logical qubit currently placed on `a` or `b`.
+    fn cost_after_swap(&self, a: usize, b: usize) -> f64 {
+        let mut delta = 0i64;
+        for logical in [self.map.logical(a), self.map.logical(b)]
+            .into_iter()
+            .flatten()
+        {
+            for &k in &self.gates_on[logical] {
+                let g = &self.unrouted[k];
+                // A gate whose both qubits sit on the swapped pair appears in
+                // both lists but its distance is unchanged (1 both ways), so
+                // double-counting its zero delta is harmless; every other
+                // affected gate appears in exactly one list.
+                delta += i64::from(self.gate_distance_after(g, a, b)) - i64::from(self.dist[k]);
+            }
+        }
+        self.total_cost + delta as f64
+    }
+
+    /// Applies an accepted SWAP to the working map and refreshes the
+    /// distances of the affected gates.
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        self.map.apply_physical_swap(a, b);
+        for logical in [self.map.logical(a), self.map.logical(b)]
+            .into_iter()
+            .flatten()
+        {
+            for &k in &self.gates_on[logical] {
+                let g = self.unrouted[k];
+                let new_dist = self
+                    .distances
+                    .distance(self.map.physical(g.qubit0()), self.map.physical(g.qubit1()));
+                self.total_cost += f64::from(new_dist) - f64::from(self.dist[k]);
+                self.dist[k] = new_dist;
+            }
+        }
+    }
+
+    /// Removes the unrouted gate at index `k` (swap-remove order, matching
+    /// the original router), updating cost and index structures.
+    fn remove_gate(&mut self, k: usize) -> Gate {
+        self.total_cost -= f64::from(self.dist[k]);
+        self.dist.swap_remove(k);
+        self.unrouted.swap_remove(k)
     }
 }
 
@@ -145,6 +300,12 @@ impl Default for RoutingConfig {
 ///
 /// `circuit` is one (already circuit-unified) Trotter step; `initial_map` is
 /// the placement produced by the mapping pass.
+///
+/// The loop is allocation-free in the hot path: a single working map is
+/// mutated in place (one clone per *accepted* SWAP to record the stage, none
+/// per candidate), and the Eq.-7 cost of the unrouted set is maintained
+/// incrementally so each candidate SWAP is scored by the delta over the few
+/// gates it touches instead of a full rescan.
 ///
 /// # Errors
 ///
@@ -182,31 +343,29 @@ pub fn route<R: Rng + ?Sized>(
         swap: None,
     }];
 
+    let mut state = RouterState::new(initial_map.clone(), unrouted, circuit, device);
+
     // Safeguard against pathological non-progress: after this many SWAPs we
     // switch to a forced-progress selection rule.
-    let total_distance: u32 = unrouted
-        .iter()
-        .map(|g| initial_map.logical_distance(device, g.qubit0(), g.qubit1()))
-        .sum();
-    let force_progress_after = (total_distance as usize) * 4 + 16;
+    let force_progress_after = (state.total_cost as usize) * 4 + 16;
     let mut inserted_swaps = 0usize;
 
-    while !unrouted.is_empty() {
-        let current_map = stages.last().expect("at least one stage").map.clone();
-
+    while !state.unrouted.is_empty() {
         // Line 5: select the unrouted gate with the shortest hardware distance.
-        let (gate_idx, _) = unrouted
+        let (gate_idx, _) = state
+            .dist
             .iter()
             .enumerate()
-            .map(|(i, g)| (i, current_map.logical_distance(device, g.qubit0(), g.qubit1())))
-            .min_by_key(|&(_, d)| d)
+            .min_by_key(|&(_, &d)| d)
             .expect("unrouted set is non-empty");
-        let target_gate = unrouted[gate_idx];
+        let target_gate = state.unrouted[gate_idx];
 
         // Line 6: candidate SWAPs act on one of the target gate's qubits.
-        let candidates = candidate_swaps(&target_gate, &current_map, device);
+        let candidates = candidate_swaps(&target_gate, &state.map, device);
         if candidates.is_empty() {
-            return Err(CompileError::RoutingStuck { remaining_gates: unrouted.len() });
+            return Err(CompileError::RoutingStuck {
+                remaining_gates: state.unrouted.len(),
+            });
         }
 
         // Line 7: evaluate the SWAP selection criteria.
@@ -214,10 +373,7 @@ pub fn route<R: Rng + ?Sized>(
         let chosen = select_swap(
             &candidates,
             &target_gate,
-            &unrouted,
-            &stages,
-            &current_map,
-            device,
+            &state,
             &busy,
             config,
             force_progress,
@@ -226,11 +382,16 @@ pub fn route<R: Rng + ?Sized>(
 
         // SWAP unitary unifying: merge a circuit gate on the same logical
         // pair into the SWAP if one exists.
-        let logical_pair = (current_map.logical(chosen.0), current_map.logical(chosen.1));
+        let logical_pair = (state.map.logical(chosen.0), state.map.logical(chosen.1));
         let mut merged = None;
         if config.enable_dressing {
             if let (Some(la), Some(lb)) = logical_pair {
-                merged = take_mergeable_gate(&mut unrouted, &mut stages, la, lb);
+                merged = take_mergeable_gate(&mut state, &mut stages, la, lb);
+                if merged.is_some() {
+                    // The removal shifted unrouted indices; refresh the
+                    // per-qubit index before the swap update reads it.
+                    state.rebuild_index();
+                }
             }
         }
         let swap_action = SwapAction {
@@ -240,29 +401,27 @@ pub fn route<R: Rng + ?Sized>(
         };
         busy[chosen.0] += 1;
         busy[chosen.1] += 1;
-        stages
-            .last_mut()
-            .expect("at least one stage")
-            .swap = Some(swap_action);
+        stages.last_mut().expect("at least one stage").swap = Some(swap_action);
         inserted_swaps += 1;
 
-        // Lines 8-10: update the map and collect newly nearest-neighbour gates.
-        let new_map = current_map.with_physical_swap(chosen.0, chosen.1);
+        // Lines 8-10: update the map in place and collect newly
+        // nearest-neighbour gates (their maintained distance dropped to 1).
+        state.apply_swap(chosen.0, chosen.1);
         let mut new_stage_gates = Vec::new();
         let mut i = 0;
-        while i < unrouted.len() {
-            let g = unrouted[i];
-            if new_map.logically_adjacent(device, g.qubit0(), g.qubit1()) {
-                busy[new_map.physical(g.qubit0())] += 1;
-                busy[new_map.physical(g.qubit1())] += 1;
+        while i < state.unrouted.len() {
+            if state.dist[i] == 1 {
+                let g = state.remove_gate(i);
+                busy[state.map.physical(g.qubit0())] += 1;
+                busy[state.map.physical(g.qubit1())] += 1;
                 new_stage_gates.push(g);
-                unrouted.swap_remove(i);
             } else {
                 i += 1;
             }
         }
+        state.rebuild_index();
         stages.push(RoutingStage {
-            map: new_map,
+            map: state.map.clone(),
             circuit_gates: new_stage_gates,
             swap: None,
         });
@@ -293,14 +452,16 @@ fn candidate_swaps(gate: &Gate, map: &QubitMap, device: &Device) -> Vec<(usize, 
 
 /// Evaluates the three SWAP selection criteria and picks the best candidate
 /// (ties broken uniformly at random, as in the paper).
+///
+/// Each candidate is scored from the incrementally maintained
+/// [`RouterState`]: the target-gate distance and the remaining Eq.-7 cost
+/// are evaluated as deltas over the gates the SWAP touches, without cloning
+/// the qubit map or rescanning the unrouted set.
 #[allow(clippy::too_many_arguments)]
 fn select_swap<R: Rng + ?Sized>(
     candidates: &[(usize, usize)],
     target_gate: &Gate,
-    unrouted: &[Gate],
-    stages: &[RoutingStage],
-    current_map: &QubitMap,
-    device: &Device,
+    state: &RouterState<'_>,
     busy: &[usize],
     config: &RoutingConfig,
     force_progress: bool,
@@ -313,31 +474,17 @@ fn select_swap<R: Rng + ?Sized>(
     let mut best_score: Option<Score> = None;
 
     for &swap in candidates {
-        let map_after = current_map.with_physical_swap(swap.0, swap.1);
         // Criterion 0 (only in forced-progress mode): the selected gate's
         // distance after the SWAP — guarantees termination.
-        let target_distance = f64::from(map_after.logical_distance(
-            device,
-            target_gate.qubit0(),
-            target_gate.qubit1(),
-        ));
+        let target_distance = f64::from(state.gate_distance_after(target_gate, swap.0, swap.1));
         // Criterion 1: remaining Eq.-7 cost over all unrouted gates.
-        let remaining_cost: f64 = unrouted
-            .iter()
-            .map(|g| f64::from(map_after.logical_distance(device, g.qubit0(), g.qubit1())))
-            .sum();
+        let remaining_cost = state.cost_after_swap(swap.0, swap.1);
         // Criterion 2: depth proxy — how busy the SWAP's qubits already are.
         let depth_cost = busy[swap.0].max(busy[swap.1]) as f64;
         // Criterion 3: can the SWAP be dressed? (better = lower score)
         let mergeable = if config.enable_dressing {
-            match (current_map.logical(swap.0), current_map.logical(swap.1)) {
-                (Some(la), Some(lb)) => {
-                    if find_mergeable_gate(unrouted, stages, la, lb).is_some() {
-                        0.0
-                    } else {
-                        1.0
-                    }
-                }
+            match (state.map.logical(swap.0), state.map.logical(swap.1)) {
+                (Some(la), Some(lb)) if state.has_mergeable(la, lb) => 0.0,
                 _ => 1.0,
             }
         } else {
@@ -362,49 +509,40 @@ fn select_swap<R: Rng + ?Sized>(
     best[rng.gen_range(0..best.len())]
 }
 
-/// Looks for a not-yet-merged canonical circuit gate on the logical pair
-/// `(la, lb)`, searching the unrouted set first and then the already-placed
-/// stages.  Returns its location without removing it.
-fn find_mergeable_gate(
-    unrouted: &[Gate],
-    stages: &[RoutingStage],
-    la: usize,
-    lb: usize,
-) -> Option<()> {
-    let pair = (la.min(lb), la.max(lb));
-    let is_match = |g: &Gate| {
-        matches!(g.kind, GateKind::Canonical { .. }) && g.qubit_pair() == pair
-    };
-    if unrouted.iter().any(is_match) {
-        return Some(());
-    }
-    if stages.iter().any(|s| s.circuit_gates.iter().any(is_match)) {
-        return Some(());
-    }
-    None
-}
-
 /// Removes a mergeable canonical gate on `(la, lb)` from wherever it lives
 /// (unrouted set first, then placed stages) and returns it.
 fn take_mergeable_gate(
-    unrouted: &mut Vec<Gate>,
+    state: &mut RouterState,
     stages: &mut [RoutingStage],
     la: usize,
     lb: usize,
 ) -> Option<Gate> {
     let pair = (la.min(lb), la.max(lb));
-    let is_match = |g: &Gate| {
-        matches!(g.kind, GateKind::Canonical { .. }) && g.qubit_pair() == pair
+    if !state.has_mergeable(la, lb) {
+        return None;
+    }
+    let is_match =
+        |g: &Gate| matches!(g.kind, GateKind::Canonical { .. }) && g.qubit_pair() == pair;
+    let taken = if let Some(pos) = state.unrouted.iter().position(is_match) {
+        // Order-preserving removal, matching the pre-optimisation router so
+        // gate-selection order (and thus results) stay comparable.
+        state.total_cost -= f64::from(state.dist[pos]);
+        state.dist.remove(pos);
+        Some(state.unrouted.remove(pos))
+    } else {
+        stages.iter_mut().find_map(|stage| {
+            stage
+                .circuit_gates
+                .iter()
+                .position(is_match)
+                .map(|pos| stage.circuit_gates.remove(pos))
+        })
     };
-    if let Some(pos) = unrouted.iter().position(is_match) {
-        return Some(unrouted.remove(pos));
+    debug_assert!(taken.is_some(), "mergeable count said a gate exists");
+    if taken.is_some() {
+        *state.mergeable_counts.entry(pair).or_insert(1) -= 1;
     }
-    for stage in stages.iter_mut() {
-        if let Some(pos) = stage.circuit_gates.iter().position(is_match) {
-            return Some(stage.circuit_gates.remove(pos));
-        }
-    }
-    None
+    taken
 }
 
 #[cfg(test)]
@@ -423,7 +561,13 @@ mod tests {
         config: &RoutingConfig,
     ) -> RoutedCircuit {
         let mut rng = StdRng::seed_from_u64(seed);
-        let map = initial_mapping(circuit, device, InitialMappingStrategy::TabuSearch, &mut rng).unwrap();
+        let map = initial_mapping(
+            circuit,
+            device,
+            InitialMappingStrategy::TabuSearch,
+            &mut rng,
+        )
+        .unwrap();
         route(circuit, device, &map, config, &mut rng).unwrap()
     }
 
@@ -455,7 +599,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(routed.single_qubit_gates.len(), circuit.single_qubit_gate_count());
+        assert_eq!(
+            routed.single_qubit_gates.len(),
+            circuit.single_qubit_gate_count()
+        );
     }
 
     #[test]
@@ -480,7 +627,11 @@ mod tests {
         check_routing_invariants(&routed, &circuit, &device);
         // The Fig. 3 walk-through needs only 2 SWAPs for this family of
         // 6-qubit problems; allow a little slack for the random coefficients.
-        assert!(routed.swap_count() <= 4, "too many SWAPs: {}", routed.swap_count());
+        assert!(
+            routed.swap_count() <= 4,
+            "too many SWAPs: {}",
+            routed.swap_count()
+        );
         assert!(routed.swap_count() >= 1);
     }
 
@@ -498,7 +649,9 @@ mod tests {
     #[test]
     fn qaoa_on_aspen_routes_all_gates() {
         let problem = QaoaProblem::random_regular(12, 3, 9);
-        let circuit = problem.circuit(&[(0.6, 0.4)], false).unify_same_pair_gates();
+        let circuit = problem
+            .circuit(&[(0.6, 0.4)], false)
+            .unify_same_pair_gates();
         let device = Device::aspen();
         let routed = route_with_tabu(&circuit, &device, 2, &RoutingConfig::default());
         check_routing_invariants(&routed, &circuit, &device);
@@ -508,7 +661,9 @@ mod tests {
     fn disabling_dressing_produces_plain_swaps_only() {
         let circuit = trotter_step(&nnn_ising(10, 3), 1.0);
         let device = Device::montreal();
-        let config = RoutingConfig { enable_dressing: false };
+        let config = RoutingConfig {
+            enable_dressing: false,
+        };
         let routed = route_with_tabu(&circuit, &device, 5, &config);
         check_routing_invariants(&routed, &circuit, &device);
         assert_eq!(routed.dressed_swap_count(), 0);
@@ -519,7 +674,14 @@ mod tests {
         let circuit = trotter_step(&nnn_heisenberg(14, 21), 1.0);
         let device = Device::montreal();
         let dressed = route_with_tabu(&circuit, &device, 8, &RoutingConfig::default());
-        let plain = route_with_tabu(&circuit, &device, 8, &RoutingConfig { enable_dressing: false });
+        let plain = route_with_tabu(
+            &circuit,
+            &device,
+            8,
+            &RoutingConfig {
+                enable_dressing: false,
+            },
+        );
         assert!(
             dressed.total_two_qubit_ops() <= plain.total_two_qubit_ops(),
             "dressing should never increase the operation count ({} vs {})",
@@ -534,8 +696,13 @@ mod tests {
         let device = Device::montreal();
         let routed = route_with_tabu(&circuit, &device, 4, &RoutingConfig::default());
         for window in routed.stages.windows(2) {
-            let swap = window[0].swap.as_ref().expect("inner stages end with a SWAP");
-            let expected = window[0].map.with_physical_swap(swap.physical.0, swap.physical.1);
+            let swap = window[0]
+                .swap
+                .as_ref()
+                .expect("inner stages end with a SWAP");
+            let expected = window[0]
+                .map
+                .with_physical_swap(swap.physical.0, swap.physical.1);
             assert_eq!(expected, window[1].map);
         }
         assert!(routed.stages.last().unwrap().swap.is_none());

@@ -214,7 +214,10 @@ fn alap_cycles(routed: &RoutedCircuit, device: &twoqan_device::Device) -> Vec<Ve
             // Defensive fallback (unreachable for router-produced inputs):
             // flush everything in stage order to guarantee termination.
             for (_, g) in pending_gates.drain(..) {
-                let (pa, pb) = (current_map.physical(g.qubit0()), current_map.physical(g.qubit1()));
+                let (pa, pb) = (
+                    current_map.physical(g.qubit0()),
+                    current_map.physical(g.qubit1()),
+                );
                 cycle.push(Gate::two(g.kind, pa, pb));
             }
             for (_, sw) in pending_swaps.drain(..) {
@@ -242,7 +245,11 @@ fn place_single(gate: &Gate, map: &QubitMap) -> Gate {
 
 /// Places a logical two-qubit gate on its physical pair under `map`.
 fn place_two_qubit(gate: &Gate, map: &QubitMap) -> Gate {
-    Gate::two(gate.kind, map.physical(gate.qubit0()), map.physical(gate.qubit1()))
+    Gate::two(
+        gate.kind,
+        map.physical(gate.qubit0()),
+        map.physical(gate.qubit1()),
+    )
 }
 
 #[cfg(test)]
@@ -259,13 +266,24 @@ mod tests {
 
     fn route_circuit(circuit: &Circuit, device: &Device, seed: u64) -> RoutedCircuit {
         let mut rng = StdRng::seed_from_u64(seed);
-        let map = initial_mapping(circuit, device, InitialMappingStrategy::TabuSearch, &mut rng).unwrap();
+        let map = initial_mapping(
+            circuit,
+            device,
+            InitialMappingStrategy::TabuSearch,
+            &mut rng,
+        )
+        .unwrap();
         route(circuit, device, &map, &RoutingConfig::default(), &mut rng).unwrap()
     }
 
     /// The scheduled circuit must contain exactly the routed operations and
     /// every two-qubit gate must sit on a device edge.
-    fn check_schedule(s: &ScheduledCircuit, routed: &RoutedCircuit, circuit: &Circuit, device: &Device) {
+    fn check_schedule(
+        s: &ScheduledCircuit,
+        routed: &RoutedCircuit,
+        circuit: &Circuit,
+        device: &Device,
+    ) {
         assert!(s.is_valid());
         assert_eq!(
             s.two_qubit_gate_count(),
@@ -299,7 +317,10 @@ mod tests {
         let apps = kinds.get("app").copied().unwrap_or(0);
         let plain_swaps = kinds.get("swap").copied().unwrap_or(0);
         assert_eq!(apps, circuit.two_qubit_gate_count());
-        assert_eq!(plain_swaps, routed.swap_count() - routed.dressed_swap_count());
+        assert_eq!(
+            plain_swaps,
+            routed.swap_count() - routed.dressed_swap_count()
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::calibration::Calibration;
 use crate::gateset::{GateSet, TwoQubitBasis};
 use crate::topologies;
+use std::sync::OnceLock;
 use twoqan_graphs::{DistanceMatrix, Graph};
 
 /// A quantum device model the compiler can target.
@@ -23,7 +24,9 @@ use twoqan_graphs::{DistanceMatrix, Graph};
 pub struct Device {
     name: String,
     topology: Graph,
-    distances: DistanceMatrix,
+    /// Lazily computed (one BFS per vertex) and cached for the lifetime of
+    /// the device, so repeated `distances()` calls never recompute.
+    distances: OnceLock<DistanceMatrix>,
     gate_set: GateSet,
     calibration: Calibration,
 }
@@ -42,11 +45,10 @@ impl Device {
         calibration: Calibration,
     ) -> Self {
         assert!(topology.is_connected(), "device topology must be connected");
-        let distances = DistanceMatrix::floyd_warshall(&topology);
         Self {
             name: name.into(),
             topology,
-            distances,
+            distances: OnceLock::new(),
             gate_set,
             calibration,
         }
@@ -165,14 +167,17 @@ impl Device {
         &self.topology
     }
 
-    /// The all-pairs hardware distance matrix.
+    /// The all-pairs hardware distance matrix (computed on first use with
+    /// one BFS per vertex, then cached for the lifetime of the device).
     pub fn distances(&self) -> &DistanceMatrix {
-        &self.distances
+        self.distances
+            .get_or_init(|| DistanceMatrix::bfs(&self.topology))
     }
 
     /// Distance between two hardware qubits.
+    #[inline]
     pub fn distance(&self, a: usize, b: usize) -> u32 {
-        self.distances.distance(a, b)
+        self.distances().distance(a, b)
     }
 
     /// Returns `true` if a two-qubit gate can be applied directly on
@@ -252,6 +257,25 @@ mod tests {
         let noiseless = Device::montreal().with_calibration(Calibration::noiseless());
         assert_eq!(noiseless.calibration().two_qubit_error, 0.0);
         assert_eq!(noiseless.num_qubits(), 27);
+    }
+
+    #[test]
+    fn distance_matrix_is_cached_per_device() {
+        let device = Device::montreal();
+        let first = device.distances() as *const _;
+        let second = device.distances() as *const _;
+        assert_eq!(
+            first, second,
+            "repeated calls must return the same cached matrix"
+        );
+        // A clone carries the already-computed cache (or recomputes lazily);
+        // either way the values agree with a from-scratch computation.
+        let clone = device.clone();
+        assert_eq!(clone.distances(), device.distances());
+        assert_eq!(
+            *device.distances(),
+            twoqan_graphs::DistanceMatrix::floyd_warshall(device.topology())
+        );
     }
 
     #[test]

@@ -117,6 +117,9 @@ mod tests {
         assert_eq!(gs.default_basis(), TwoQubitBasis::Syc);
         assert!(gs.supports(TwoQubitBasis::Cz));
         assert!(!gs.supports(TwoQubitBasis::Cnot));
-        assert_eq!(GateSet::single(TwoQubitBasis::Cnot).default_basis(), TwoQubitBasis::Cnot);
+        assert_eq!(
+            GateSet::single(TwoQubitBasis::Cnot).default_basis(),
+            TwoQubitBasis::Cnot
+        );
     }
 }

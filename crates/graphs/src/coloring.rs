@@ -62,7 +62,9 @@ pub fn greedy_coloring(graph: &Graph, strategy: ColoringStrategy) -> ColoringRes
                 used[c] = true;
             }
         }
-        let color = (0..).find(|&c| c >= used.len() || !used[c]).expect("a free colour always exists");
+        let color = (0..)
+            .find(|&c| c >= used.len() || !used[c])
+            .expect("a free colour always exists");
         colors[v] = color;
         num_colors = num_colors.max(color + 1);
     }
@@ -109,7 +111,10 @@ mod tests {
     #[test]
     fn never_exceeds_degree_plus_one() {
         let g = Graph::grid(4, 5);
-        for strategy in [ColoringStrategy::LargestFirst, ColoringStrategy::NaturalOrder] {
+        for strategy in [
+            ColoringStrategy::LargestFirst,
+            ColoringStrategy::NaturalOrder,
+        ] {
             let r = greedy_coloring(&g, strategy);
             assert!(is_proper_coloring(&g, &r.colors));
             assert!(r.num_colors <= g.max_degree() + 1);

@@ -36,11 +36,7 @@ impl Graph {
     /// Creates a graph from an edge list; the vertex count is inferred as
     /// one plus the largest endpoint (or `min_vertices` if larger).
     pub fn from_edges(min_vertices: usize, edges: &[(usize, usize)]) -> Self {
-        let max = edges
-            .iter()
-            .map(|&(a, b)| a.max(b) + 1)
-            .max()
-            .unwrap_or(0);
+        let max = edges.iter().map(|&(a, b)| a.max(b) + 1).max().unwrap_or(0);
         let mut g = Self::new(min_vertices.max(max));
         for &(a, b) in edges {
             g.add_edge(a, b);
@@ -110,7 +106,10 @@ impl Graph {
     ///
     /// Panics if either endpoint is out of range or the endpoints coincide.
     pub fn add_edge(&mut self, a: usize, b: usize) {
-        assert!(a < self.num_vertices && b < self.num_vertices, "edge endpoint out of range");
+        assert!(
+            a < self.num_vertices && b < self.num_vertices,
+            "edge endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not supported");
         self.adjacency[a].insert(b);
         self.adjacency[b].insert(a);

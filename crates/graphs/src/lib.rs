@@ -22,14 +22,15 @@ pub mod annealing;
 pub mod coloring;
 pub mod distance;
 pub mod graph;
+pub mod parallel;
 pub mod qap;
 pub mod random_regular;
 pub mod tabu;
 
-pub use annealing::{simulated_annealing, AnnealingConfig};
+pub use annealing::{annealing_schedule, simulated_annealing, AnnealingConfig, AnnealingResult};
 pub use coloring::{greedy_coloring, ColoringResult};
 pub use distance::DistanceMatrix;
 pub use graph::Graph;
 pub use qap::QapProblem;
 pub use random_regular::random_regular_graph;
-pub use tabu::{tabu_search, TabuConfig};
+pub use tabu::{tabu_search, tabu_search_from, DeltaTable, TabuConfig, TabuResult};

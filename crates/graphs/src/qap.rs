@@ -6,21 +6,34 @@
 //! *distance* between two hardware qubits is their shortest-path distance.
 //! The objective (Eq. 7) is
 //! `min_φ Σ_{i,j} f_{ij} · d_{φ(i)φ(j)}`.
+//!
+//! Both matrices are stored flat in row-major order so the solvers' inner
+//! loops are simple strided reads; `flow_row`/`distance_row` expose whole
+//! rows for cache-friendly scans.
 
 use crate::distance::DistanceMatrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// A QAP instance: an `n × n` flow matrix between facilities and an
-/// `m × m` (`m ≥ n`) distance matrix between locations.
+/// `m × m` (`m ≥ n`) distance matrix between locations, both stored flat in
+/// row-major order.
 #[derive(Debug, Clone)]
 pub struct QapProblem {
-    flow: Vec<Vec<f64>>,
-    distance: Vec<Vec<f64>>,
+    n: usize,
+    m: usize,
+    flow: Vec<f64>,
+    distance: Vec<f64>,
+    /// `active[i]` is `false` for facilities whose flow row and column are
+    /// all zero — the dummy facilities introduced by device-size padding.
+    /// Exchanging two inactive facilities never changes the cost, so the
+    /// solvers skip those pairs.
+    active: Vec<bool>,
 }
 
 impl QapProblem {
-    /// Creates a QAP instance from explicit flow and distance matrices.
+    /// Creates a QAP instance from explicit (nested) flow and distance
+    /// matrices.
     ///
     /// # Panics
     ///
@@ -29,10 +42,49 @@ impl QapProblem {
     pub fn new(flow: Vec<Vec<f64>>, distance: Vec<Vec<f64>>) -> Self {
         let n = flow.len();
         let m = distance.len();
-        assert!(flow.iter().all(|r| r.len() == n), "flow matrix must be square");
-        assert!(distance.iter().all(|r| r.len() == m), "distance matrix must be square");
-        assert!(m >= n, "need at least as many locations ({m}) as facilities ({n})");
-        Self { flow, distance }
+        assert!(
+            flow.iter().all(|r| r.len() == n),
+            "flow matrix must be square"
+        );
+        assert!(
+            distance.iter().all(|r| r.len() == m),
+            "distance matrix must be square"
+        );
+        Self::from_flat(
+            n,
+            flow.into_iter().flatten().collect(),
+            m,
+            distance.into_iter().flatten().collect(),
+        )
+    }
+
+    /// Creates a QAP instance from flat row-major matrices: `flow` is
+    /// `n × n`, `distance` is `m × m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the declared dimensions or
+    /// if there are fewer locations than facilities.
+    pub fn from_flat(n: usize, flow: Vec<f64>, m: usize, distance: Vec<f64>) -> Self {
+        assert_eq!(flow.len(), n * n, "flow matrix must be n × n");
+        assert_eq!(distance.len(), m * m, "distance matrix must be m × m");
+        assert!(
+            m >= n,
+            "need at least as many locations ({m}) as facilities ({n})"
+        );
+        let active = (0..n)
+            .map(|i| {
+                flow[i * n..(i + 1) * n].iter().any(|&f| f != 0.0)
+                    || (0..n).any(|k| flow[k * n + i] != 0.0)
+            })
+            .collect();
+        Self {
+            n,
+            m,
+            flow,
+            distance,
+            active,
+        }
     }
 
     /// Builds the qubit-mapping QAP from gate interaction counts and a
@@ -46,40 +98,63 @@ impl QapProblem {
         hardware: &DistanceMatrix,
     ) -> Self {
         let n = num_circuit_qubits;
-        let mut flow = vec![vec![0.0; n]; n];
+        let mut flow = vec![0.0; n * n];
         for &(a, b) in interactions {
             assert!(a < n && b < n, "interaction qubit out of range");
-            flow[a][b] += 1.0;
-            flow[b][a] += 1.0;
+            flow[a * n + b] += 1.0;
+            flow[b * n + a] += 1.0;
         }
         let m = hardware.num_vertices();
-        let mut distance = vec![vec![0.0; m]; m];
-        for (i, row) in distance.iter_mut().enumerate() {
-            for (j, d) in row.iter_mut().enumerate() {
-                *d = hardware.distance_f64(i, j);
+        let mut distance = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                distance[i * m + j] = hardware.distance_f64(i, j);
             }
         }
-        Self::new(flow, distance)
+        Self::from_flat(n, flow, m, distance)
     }
 
     /// Number of facilities (circuit qubits).
+    #[inline]
     pub fn num_facilities(&self) -> usize {
-        self.flow.len()
+        self.n
     }
 
     /// Number of locations (hardware qubits).
+    #[inline]
     pub fn num_locations(&self) -> usize {
-        self.distance.len()
+        self.m
     }
 
     /// Flow between two facilities.
+    #[inline]
     pub fn flow(&self, i: usize, j: usize) -> f64 {
-        self.flow[i][j]
+        self.flow[i * self.n + j]
     }
 
     /// Distance between two locations.
+    #[inline]
     pub fn distance(&self, a: usize, b: usize) -> f64 {
-        self.distance[a][b]
+        self.distance[a * self.m + b]
+    }
+
+    /// The `i`-th row of the flow matrix.
+    #[inline]
+    pub fn flow_row(&self, i: usize) -> &[f64] {
+        &self.flow[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The `a`-th row of the distance matrix.
+    #[inline]
+    pub fn distance_row(&self, a: usize) -> &[f64] {
+        &self.distance[a * self.m..(a + 1) * self.m]
+    }
+
+    /// Returns `false` for dummy facilities (all-zero flow row and column)
+    /// introduced by padding the QAP up to the device size.
+    #[inline]
+    pub fn is_active(&self, i: usize) -> bool {
+        self.active[i]
     }
 
     /// The QAP objective (Eq. 7) for an assignment `φ`:
@@ -87,14 +162,18 @@ impl QapProblem {
     ///
     /// `assignment[i]` is the location of facility `i`.
     pub fn cost(&self, assignment: &[usize]) -> f64 {
-        let n = self.num_facilities();
+        let n = self.n;
         debug_assert_eq!(assignment.len(), n);
         let mut total = 0.0;
         for i in 0..n {
-            for j in 0..n {
-                let f = self.flow[i][j];
+            if !self.active[i] {
+                continue;
+            }
+            let frow = self.flow_row(i);
+            let drow = self.distance_row(assignment[i]);
+            for (j, &f) in frow.iter().enumerate() {
                 if f != 0.0 {
-                    total += f * self.distance[assignment[i]][assignment[j]];
+                    total += f * drow[assignment[j]];
                 }
             }
         }
@@ -107,43 +186,97 @@ impl QapProblem {
         if i == j {
             return 0.0;
         }
-        let n = self.num_facilities();
+        let n = self.n;
         let (pi, pj) = (assignment[i], assignment[j]);
+        let fi = self.flow_row(i);
+        let fj = self.flow_row(j);
+        let di = self.distance_row(pi);
+        let dj = self.distance_row(pj);
         let mut delta = 0.0;
         for k in 0..n {
             if k == i || k == j {
                 continue;
             }
             let pk = assignment[k];
-            delta += (self.flow[i][k] + self.flow[k][i]) * (self.distance[pj][pk] - self.distance[pi][pk]);
-            delta += (self.flow[j][k] + self.flow[k][j]) * (self.distance[pi][pk] - self.distance[pj][pk]);
+            delta += (fi[k] + self.flow(k, i)) * (dj[pk] - di[pk]);
+            delta += (fj[k] + self.flow(k, j)) * (di[pk] - dj[pk]);
         }
-        delta += self.flow[i][j] * (self.distance[pj][pi] - self.distance[pi][pj]);
-        delta += self.flow[j][i] * (self.distance[pi][pj] - self.distance[pj][pi]);
+        delta += fi[j] * (dj[pi] - di[pj]);
+        delta += fj[i] * (di[pj] - dj[pi]);
         delta
+    }
+
+    /// Taillard-style O(1) update of a cached swap delta.
+    ///
+    /// Let `Δ(φ; i, j)` be [`swap_delta`](Self::swap_delta) under assignment
+    /// `φ`.  After a swap of facilities `u` and `v` is *accepted*, turning
+    /// `φ` into `φ'`, the cached delta of any pair `{i, j}` disjoint from
+    /// `{u, v}` can be updated in constant time:
+    ///
+    /// `Δ(φ'; i, j) = Δ(φ; i, j) + (f_iu − f_iv − f_ju + f_jv)·(d_{φ(i)a} −
+    /// d_{φ(i)b} − d_{φ(j)a} + d_{φ(j)b}) + (f_ui − f_vi − f_uj +
+    /// f_vj)·(d_{aφ(i)} − d_{bφ(i)} − d_{aφ(j)} + d_{bφ(j)})`
+    ///
+    /// where `a = φ(u)` and `b = φ(v)` are the locations of `u`/`v` *before*
+    /// the accepted swap.  `assignment` must be the assignment **after** the
+    /// `(u, v)` swap was applied (so `a = assignment[v]`,
+    /// `b = assignment[u]`), which is what a solver naturally has in hand.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `{i, j}` and `{u, v}` are disjoint; for pairs that
+    /// overlap the swapped facilities the delta must be recomputed with
+    /// [`swap_delta`](Self::swap_delta).
+    #[inline]
+    pub fn swap_delta_update(
+        &self,
+        assignment: &[usize],
+        old_delta: f64,
+        i: usize,
+        j: usize,
+        u: usize,
+        v: usize,
+    ) -> f64 {
+        debug_assert!(i != u && i != v && j != u && j != v && i != j);
+        let a = assignment[v]; // φ(u) before the accepted swap
+        let b = assignment[u]; // φ(v) before the accepted swap
+        let (pi, pj) = (assignment[i], assignment[j]);
+        let fi = self.flow_row(i);
+        let fj = self.flow_row(j);
+        let fu = self.flow_row(u);
+        let fv = self.flow_row(v);
+        let di = self.distance_row(pi);
+        let dj = self.distance_row(pj);
+        let da = self.distance_row(a);
+        let db = self.distance_row(b);
+        let row_flow = fi[u] - fi[v] - fj[u] + fj[v];
+        let row_dist = di[a] - di[b] - dj[a] + dj[b];
+        let col_flow = fu[i] - fv[i] - fu[j] + fv[j];
+        let col_dist = da[pi] - db[pi] - da[pj] + db[pj];
+        old_delta + row_flow * row_dist + col_flow * col_dist
     }
 
     /// A random assignment of facilities to distinct locations.
     pub fn random_assignment<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
-        let mut locations: Vec<usize> = (0..self.num_locations()).collect();
+        let mut locations: Vec<usize> = (0..self.m).collect();
         locations.shuffle(rng);
-        locations.truncate(self.num_facilities());
+        locations.truncate(self.n);
         locations
     }
 
     /// The identity ("trivial") assignment mapping facility `i` to location `i`.
     pub fn trivial_assignment(&self) -> Vec<usize> {
-        (0..self.num_facilities()).collect()
+        (0..self.n).collect()
     }
 
     /// Verifies that an assignment is injective and within range.
     pub fn is_valid_assignment(&self, assignment: &[usize]) -> bool {
-        if assignment.len() != self.num_facilities() {
+        if assignment.len() != self.n {
             return false;
         }
-        let mut seen = vec![false; self.num_locations()];
+        let mut seen = vec![false; self.m];
         for &loc in assignment {
-            if loc >= self.num_locations() || seen[loc] {
+            if loc >= self.m || seen[loc] {
                 return false;
             }
             seen[loc] = true;
@@ -165,6 +298,23 @@ mod tests {
         QapProblem::from_interactions(3, &[(0, 1), (1, 2), (0, 1)], &hw)
     }
 
+    /// A dense random problem with an asymmetric flow matrix, to exercise
+    /// the general (non-symmetric) delta formulas.
+    fn random_problem(n: usize, rng: &mut StdRng) -> QapProblem {
+        let flow: Vec<f64> = (0..n * n)
+            .map(|_| f64::from(rng.gen_range(0..5u32)))
+            .collect();
+        let hw = DistanceMatrix::floyd_warshall(&Graph::grid(2, n.div_ceil(2)));
+        let m = hw.num_vertices();
+        let mut distance = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                distance[i * m + j] = hw.distance_f64(i, j);
+            }
+        }
+        QapProblem::from_flat(n, flow, m, distance)
+    }
+
     #[test]
     fn flow_counts_interactions_symmetrically() {
         let p = small_problem();
@@ -174,6 +324,8 @@ mod tests {
         assert_eq!(p.flow(0, 2), 0.0);
         assert_eq!(p.num_facilities(), 3);
         assert_eq!(p.num_locations(), 4);
+        assert_eq!(p.flow_row(0), &[0.0, 2.0, 0.0]);
+        assert_eq!(p.distance_row(0), &[0.0, 1.0, 2.0, 3.0]);
     }
 
     #[test]
@@ -207,6 +359,80 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn swap_delta_handles_asymmetric_flow() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let p = random_problem(6, &mut rng);
+            let a = p.random_assignment(&mut rng);
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    let mut swapped = a.clone();
+                    swapped.swap(i, j);
+                    let delta = p.swap_delta(&a, i, j);
+                    let expected = p.cost(&swapped) - p.cost(&a);
+                    assert!(
+                        (delta - expected).abs() < 1e-9,
+                        "asymmetric delta mismatch ({i},{j}): {delta} vs {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // pair indices (i, j) read clearest
+    fn swap_delta_update_matches_recomputation() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let p = random_problem(8, &mut rng);
+            let mut assignment = p.random_assignment(&mut rng);
+            // Cache deltas for all pairs, then apply a random swap and check
+            // the O(1) update against a fresh O(n) computation.
+            for _ in 0..5 {
+                let u = rng.gen_range(0..8);
+                let mut v = rng.gen_range(0..8);
+                if u == v {
+                    v = (v + 1) % 8;
+                }
+                let mut cached = vec![vec![0.0; 8]; 8];
+                for i in 0..8 {
+                    for j in (i + 1)..8 {
+                        cached[i][j] = p.swap_delta(&assignment, i, j);
+                    }
+                }
+                assignment.swap(u, v);
+                for i in 0..8 {
+                    for j in (i + 1)..8 {
+                        if i == u || i == v || j == u || j == v {
+                            continue;
+                        }
+                        let updated = p.swap_delta_update(&assignment, cached[i][j], i, j, u, v);
+                        let fresh = p.swap_delta(&assignment, i, j);
+                        assert!(
+                            (updated - fresh).abs() < 1e-9,
+                            "update mismatch pair ({i},{j}) after swap ({u},{v}): {updated} vs {fresh}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_facilities_are_inactive() {
+        let hw = DistanceMatrix::floyd_warshall(&Graph::path(5));
+        let p = QapProblem::from_interactions(5, &[(0, 1), (1, 2)], &hw);
+        assert!(p.is_active(0));
+        assert!(p.is_active(1));
+        assert!(p.is_active(2));
+        assert!(!p.is_active(3));
+        assert!(!p.is_active(4));
+        // Swapping two inactive facilities never changes the cost.
+        let a = p.trivial_assignment();
+        assert_eq!(p.swap_delta(&a, 3, 4), 0.0);
     }
 
     #[test]

@@ -19,7 +19,10 @@ use rand::Rng;
 /// if a valid pairing cannot be found after a large number of attempts
 /// (which for the modest sizes used in the benchmarks does not happen).
 pub fn random_regular_graph<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph to exist");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph to exist"
+    );
     assert!(d < n, "degree must be smaller than the number of vertices");
     if d == 0 {
         return Graph::new(n);
@@ -43,7 +46,7 @@ pub fn random_regular_graph<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) ->
 fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Graph> {
     let mut g = Graph::new(n);
     let mut remaining: Vec<usize> = vec![d; n];
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     while !stubs.is_empty() {
         stubs.shuffle(rng);
         // Try to find a valid pair among the shuffled stubs.
@@ -77,7 +80,9 @@ pub fn random_regular_instances<R: Rng + ?Sized>(
     count: usize,
     rng: &mut R,
 ) -> Vec<Graph> {
-    (0..count).map(|_| random_regular_graph(n, d, rng)).collect()
+    (0..count)
+        .map(|_| random_regular_graph(n, d, rng))
+        .collect()
 }
 
 #[cfg(test)]

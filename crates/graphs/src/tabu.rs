@@ -5,9 +5,22 @@
 //! classic swap-neighbourhood Tabu search with an aspiration criterion:
 //! recently swapped facility pairs are forbidden for a configurable tenure
 //! unless the move improves on the best cost seen so far.
+//!
+//! Two things make it fast:
+//!
+//! * a Taillard-style **delta table** — the cost change of every candidate
+//!   swap is computed once up front and then updated incrementally after
+//!   each accepted move (O(1) for pairs not touching the swapped facilities,
+//!   O(n) for the O(n) pairs that do), so one iteration costs O(n²) instead
+//!   of the O(n³) of re-deriving every swap delta from scratch;
+//! * **parallel restarts** — the independent random restarts run on a thread
+//!   pool with per-restart seeds pre-drawn from the caller's RNG, so results
+//!   are bit-identical for a fixed seed regardless of thread count.
 
+use crate::parallel::run_indexed;
 use crate::qap::QapProblem;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Configuration of the Tabu search.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +34,10 @@ pub struct TabuConfig {
     pub stall_limit: usize,
     /// Number of random restarts; the best result over all restarts is kept.
     pub restarts: usize,
+    /// Run the restarts on a thread pool.  The result is bit-identical to
+    /// the serial execution for a fixed seed; disable only to keep the
+    /// search on the caller's thread.
+    pub parallel: bool,
 }
 
 impl Default for TabuConfig {
@@ -30,6 +47,7 @@ impl Default for TabuConfig {
             tenure: 8,
             stall_limit: 60,
             restarts: 2,
+            parallel: true,
         }
     }
 }
@@ -47,27 +65,88 @@ pub struct TabuResult {
 
 /// Runs Tabu search on a QAP instance starting from random assignments.
 ///
-/// Returns the best assignment found across all restarts.  The search is
-/// deterministic for a fixed random number generator state.
+/// Returns the best assignment found across all restarts (ties broken in
+/// favour of the earlier restart).  The search is deterministic for a fixed
+/// random number generator state, whether or not restarts run in parallel.
 pub fn tabu_search<R: Rng + ?Sized>(
     problem: &QapProblem,
     config: &TabuConfig,
     rng: &mut R,
 ) -> TabuResult {
-    let mut best_overall: Option<TabuResult> = None;
     let restarts = config.restarts.max(1);
-    for _ in 0..restarts {
-        let start = problem.random_assignment(rng);
-        let result = tabu_search_from(problem, start, config);
-        let better = best_overall
-            .as_ref()
-            .map(|b| result.cost < b.cost)
-            .unwrap_or(true);
-        if better {
-            best_overall = Some(result);
+    // Pre-draw one seed per restart so the restart outcomes are independent
+    // of execution order and thread count.
+    let seeds: Vec<u64> = (0..restarts).map(|_| rng.gen::<u64>()).collect();
+    let results = run_indexed(restarts, config.parallel, |k| {
+        let mut restart_rng = StdRng::seed_from_u64(seeds[k]);
+        let start = problem.random_assignment(&mut restart_rng);
+        tabu_search_from(problem, start, config)
+    });
+    results
+        .into_iter()
+        .reduce(|best, r| if r.cost < best.cost { r } else { best })
+        .expect("at least one restart is always performed")
+}
+
+/// Incrementally maintained swap-delta table over facility pairs `i < j`.
+///
+/// `delta(i, j)` always equals `QapProblem::swap_delta(&current, i, j)` for
+/// the solver's current assignment; [`DeltaTable::apply_swap`] keeps that
+/// invariant after an accepted move.  Pairs of two inactive (dummy
+/// padding) facilities are excluded: their delta is identically zero and
+/// swapping them never helps, so the neighbourhood scan skips them.
+#[derive(Debug, Clone)]
+pub struct DeltaTable {
+    n: usize,
+    delta: Vec<f64>,
+}
+
+impl DeltaTable {
+    /// Builds the table for `assignment` in O(n³) (n² pairs × O(n) each).
+    pub fn new(problem: &QapProblem, assignment: &[usize]) -> Self {
+        let n = problem.num_facilities();
+        let mut delta = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if problem.is_active(i) || problem.is_active(j) {
+                    delta[i * n + j] = problem.swap_delta(assignment, i, j);
+                }
+            }
+        }
+        Self { n, delta }
+    }
+
+    /// The cached cost change of exchanging facilities `i` and `j`
+    /// (requires `i < j`).
+    #[inline]
+    pub fn delta(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < j);
+        self.delta[i * self.n + j]
+    }
+
+    /// Updates the table after the swap of facilities `u` and `v` has been
+    /// applied to `assignment` (which must already reflect the swap).
+    ///
+    /// Pairs disjoint from `{u, v}` get the O(1) Taillard update; the O(n)
+    /// pairs touching `u` or `v` are recomputed in O(n) each, for an O(n²)
+    /// total — the same order as one neighbourhood scan.
+    pub fn apply_swap(&mut self, problem: &QapProblem, assignment: &[usize], u: usize, v: usize) {
+        let n = self.n;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !problem.is_active(i) && !problem.is_active(j) {
+                    continue;
+                }
+                let idx = i * n + j;
+                if i == u || i == v || j == u || j == v {
+                    self.delta[idx] = problem.swap_delta(assignment, i, j);
+                } else {
+                    self.delta[idx] =
+                        problem.swap_delta_update(assignment, self.delta[idx], i, j, u, v);
+                }
+            }
         }
     }
-    best_overall.expect("at least one restart is always performed")
 }
 
 /// Runs Tabu search from an explicit starting assignment.
@@ -85,22 +164,30 @@ pub fn tabu_search_from(
     let mut current_cost = problem.cost(&current);
     let mut best = current.clone();
     let mut best_cost = current_cost;
-    // tabu_until[i][j] = iteration index until which swapping (i, j) is forbidden.
-    let mut tabu_until = vec![vec![0usize; n]; n];
+    // tabu_until[i * n + j] = iteration until which swapping (i, j) is forbidden.
+    let mut tabu_until = vec![0usize; n * n];
     let mut stall = 0usize;
     let mut iterations = 0usize;
+    let mut deltas = if n >= 2 {
+        Some(DeltaTable::new(problem, &current))
+    } else {
+        None
+    };
 
     for iter in 1..=config.max_iterations {
         iterations = iter;
-        if n < 2 {
-            break;
-        }
-        // Evaluate the full swap neighbourhood.
+        let Some(deltas) = deltas.as_mut() else { break };
+        // Scan the swap neighbourhood using the cached deltas; pairs of two
+        // dummy facilities are never worth exchanging and are skipped.
         let mut best_move: Option<(usize, usize, f64)> = None;
         for i in 0..n {
+            let i_active = problem.is_active(i);
             for j in (i + 1)..n {
-                let delta = problem.swap_delta(&current, i, j);
-                let is_tabu = tabu_until[i][j] > iter;
+                if !i_active && !problem.is_active(j) {
+                    continue;
+                }
+                let delta = deltas.delta(i, j);
+                let is_tabu = tabu_until[i * n + j] > iter;
                 let aspires = current_cost + delta < best_cost - 1e-12;
                 if is_tabu && !aspires {
                     continue;
@@ -110,15 +197,18 @@ pub fn tabu_search_from(
                 }
             }
         }
-        let Some((i, j, delta)) = best_move else { break };
+        let Some((i, j, delta)) = best_move else {
+            break;
+        };
         current.swap(i, j);
         current_cost += delta;
-        tabu_until[i][j] = iter + config.tenure;
-        tabu_until[j][i] = iter + config.tenure;
+        deltas.apply_swap(problem, &current, i, j);
+        // Only the upper triangle (i < j) is ever read by the scan above.
+        tabu_until[i * n + j] = iter + config.tenure;
 
         if current_cost < best_cost - 1e-12 {
             best_cost = current_cost;
-            best = current.clone();
+            best.copy_from_slice(&current);
             stall = 0;
         } else {
             stall += 1;
@@ -145,8 +235,6 @@ mod tests {
     use super::*;
     use crate::distance::DistanceMatrix;
     use crate::graph::Graph;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// A line of interacting qubits on a grid device: the optimum places the
     /// line along adjacent hardware qubits (cost = number of gates, counted
@@ -198,6 +286,65 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let r = tabu_search(&p, &config, &mut rng);
         assert!(r.iterations <= 3);
+    }
+
+    #[test]
+    fn parallel_and_serial_restarts_are_bit_identical() {
+        let p = line_on_grid(9, 4, 4);
+        let config = TabuConfig {
+            restarts: 6,
+            ..TabuConfig::default()
+        };
+        for seed in 0..5 {
+            let serial = tabu_search(
+                &p,
+                &TabuConfig {
+                    parallel: false,
+                    ..config.clone()
+                },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let parallel = tabu_search(
+                &p,
+                &TabuConfig {
+                    parallel: true,
+                    ..config.clone()
+                },
+                &mut StdRng::seed_from_u64(seed),
+            );
+            assert_eq!(serial, parallel, "seed {seed} diverged across thread modes");
+        }
+    }
+
+    #[test]
+    fn delta_table_tracks_accepted_swaps() {
+        let p = line_on_grid(7, 3, 3);
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut assignment = p.random_assignment(&mut rng);
+        let n = p.num_facilities();
+        let mut table = DeltaTable::new(&p, &assignment);
+        for step in 0..30 {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            if u == v {
+                v = (v + 1) % n;
+            }
+            assignment.swap(u, v);
+            table.apply_swap(&p, &assignment, u, v);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if !p.is_active(i) && !p.is_active(j) {
+                        continue;
+                    }
+                    let expected = p.swap_delta(&assignment, i, j);
+                    assert!(
+                        (table.delta(i, j) - expected).abs() < 1e-9,
+                        "step {step}: table ({i},{j}) = {} but swap_delta = {expected}",
+                        table.delta(i, j)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

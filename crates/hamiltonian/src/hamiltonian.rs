@@ -95,7 +95,10 @@ impl Hamiltonian {
     ///
     /// Panics if a qubit index is out of range or `u == v`.
     pub fn add_two_qubit_term(&mut self, u: usize, v: usize, xx: f64, yy: f64, zz: f64) {
-        assert!(u < self.num_qubits && v < self.num_qubits, "qubit index out of range");
+        assert!(
+            u < self.num_qubits && v < self.num_qubits,
+            "qubit index out of range"
+        );
         assert_ne!(u, v, "two-qubit term requires distinct qubits");
         let pair = (u.min(v), u.max(v));
         if let Some(term) = self.two_qubit_terms.iter_mut().find(|t| t.pair() == pair) {
@@ -103,7 +106,13 @@ impl Hamiltonian {
             term.yy += yy;
             term.zz += zz;
         } else {
-            self.two_qubit_terms.push(TwoQubitTerm { u: pair.0, v: pair.1, xx, yy, zz });
+            self.two_qubit_terms.push(TwoQubitTerm {
+                u: pair.0,
+                v: pair.1,
+                xx,
+                yy,
+                zz,
+            });
         }
     }
 
@@ -130,7 +139,11 @@ impl Hamiltonian {
     /// identity.
     pub fn add_field(&mut self, qubit: usize, pauli: Pauli, coefficient: f64) {
         assert!(qubit < self.num_qubits, "qubit index out of range");
-        assert_ne!(pauli, Pauli::I, "identity terms only shift the global phase");
+        assert_ne!(
+            pauli,
+            Pauli::I,
+            "identity terms only shift the global phase"
+        );
         self.single_qubit_terms.push(SingleQubitTerm {
             qubit,
             pauli,
@@ -176,13 +189,20 @@ impl Hamiltonian {
 
     /// The interaction graph `G(V, E)` of Eq. 3.
     pub fn interaction_graph(&self) -> Graph {
-        let edges: Vec<(usize, usize)> = self.two_qubit_terms.iter().map(TwoQubitTerm::pair).collect();
+        let edges: Vec<(usize, usize)> = self
+            .two_qubit_terms
+            .iter()
+            .map(TwoQubitTerm::pair)
+            .collect();
         Graph::from_edges(self.num_qubits, &edges)
     }
 
     /// The interaction pairs, one per two-qubit term.
     pub fn interaction_pairs(&self) -> Vec<(usize, usize)> {
-        self.two_qubit_terms.iter().map(TwoQubitTerm::pair).collect()
+        self.two_qubit_terms
+            .iter()
+            .map(TwoQubitTerm::pair)
+            .collect()
     }
 
     /// The largest coefficient magnitude Λ appearing in the Hamiltonian

@@ -25,8 +25,6 @@ pub mod qaoa;
 pub mod trotter;
 
 pub use hamiltonian::{Hamiltonian, SingleQubitTerm, TwoQubitTerm};
-pub use models::{
-    heisenberg_lattice, nnn_heisenberg, nnn_ising, nnn_xy, LatticeDimensions,
-};
+pub use models::{heisenberg_lattice, nnn_heisenberg, nnn_ising, nnn_xy, LatticeDimensions};
 pub use qaoa::QaoaProblem;
 pub use trotter::{trotter_step, trotterize};

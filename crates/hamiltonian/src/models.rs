@@ -171,7 +171,11 @@ mod tests {
     #[test]
     fn nnn_models_have_2n_minus_3_pairs() {
         for n in [6usize, 8, 12, 20, 50] {
-            assert_eq!(nnn_ising(n, 1).num_interaction_pairs(), 2 * n - 3, "Ising n={n}");
+            assert_eq!(
+                nnn_ising(n, 1).num_interaction_pairs(),
+                2 * n - 3,
+                "Ising n={n}"
+            );
             assert_eq!(nnn_xy(n, 1).num_interaction_pairs(), 2 * n - 3, "XY n={n}");
             assert_eq!(
                 nnn_heisenberg(n, 1).num_interaction_pairs(),
@@ -238,7 +242,7 @@ mod tests {
         assert_eq!(two_d.edges().len(), 5 * 5 + 4 * 6); // 49
         let three_d = LatticeDimensions::ThreeD(2, 3, 5);
         assert_eq!(three_d.num_sites(), 30);
-        assert_eq!(three_d.edges().len(), 1 * 3 * 5 + 2 * 2 * 5 + 2 * 3 * 4); // 59
+        assert_eq!(three_d.edges().len(), 3 * 5 + 2 * 2 * 5 + 2 * 3 * 4); // 59
     }
 
     #[test]

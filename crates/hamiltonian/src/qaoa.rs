@@ -105,7 +105,11 @@ impl QaoaProblem {
     /// The cut size of an assignment (number of edges whose endpoints get
     /// different values).
     pub fn cut_value(&self, assignment: &[bool]) -> usize {
-        assert_eq!(assignment.len(), self.num_qubits(), "assignment length mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.num_qubits(),
+            "assignment length mismatch"
+        );
         self.graph
             .edges()
             .iter()

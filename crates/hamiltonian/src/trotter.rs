@@ -148,7 +148,8 @@ mod tests {
         h.add_x_field(0, 0.9);
         let c = trotter_step(&h, 0.7);
         let gate = c.gates()[0];
-        let expected = twoqan_math::pauli::exp_single_qubit_pauli(0.9 * 0.7, twoqan_math::pauli::Pauli::X);
+        let expected =
+            twoqan_math::pauli::exp_single_qubit_pauli(0.9 * 0.7, twoqan_math::pauli::Pauli::X);
         assert!(gate.kind.single_qubit_matrix().approx_eq(&expected, 1e-12));
     }
 

@@ -203,6 +203,8 @@ impl Mul<f64> for Complex {
 impl Div for Complex {
     type Output = Self;
     #[inline]
+    // Division by a complex number *is* multiplication by its inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -257,7 +259,9 @@ mod tests {
         let b = c64(-0.25, 3.0);
         assert_eq!(a + b, c64(1.25, 1.0));
         assert_eq!(a - b, c64(1.75, -5.0));
-        assert!(((a * b) - c64(1.5 * -0.25 - (-2.0) * 3.0, 1.5 * 3.0 + (-2.0) * -0.25)).abs() < 1e-12);
+        assert!(
+            ((a * b) - c64(1.5 * -0.25 - (-2.0) * 3.0, 1.5 * 3.0 + (-2.0) * -0.25)).abs() < 1e-12
+        );
         assert!((a * a.inv() - Complex::one()).abs() < 1e-12);
         assert!((a / a - Complex::one()).abs() < 1e-12);
     }
@@ -294,7 +298,9 @@ mod tests {
 
     #[test]
     fn sum_of_complex() {
-        let s: Complex = [c64(1.0, 1.0), c64(2.0, -3.0), c64(-0.5, 0.5)].into_iter().sum();
+        let s: Complex = [c64(1.0, 1.0), c64(2.0, -3.0), c64(-0.5, 0.5)]
+            .into_iter()
+            .sum();
         assert!(s.approx_eq(c64(2.5, -1.5), 1e-12));
     }
 

@@ -149,9 +149,18 @@ mod tests {
 
     #[test]
     fn basis_gates_cost_one_in_their_own_basis() {
-        assert_eq!(TwoQubitBasisCost::Cnot.gate_count(&WeylCoordinates::cnot()), 1);
-        assert_eq!(TwoQubitBasisCost::Cz.gate_count(&WeylCoordinates::cnot()), 1);
-        assert_eq!(TwoQubitBasisCost::ISwap.gate_count(&WeylCoordinates::iswap()), 1);
+        assert_eq!(
+            TwoQubitBasisCost::Cnot.gate_count(&WeylCoordinates::cnot()),
+            1
+        );
+        assert_eq!(
+            TwoQubitBasisCost::Cz.gate_count(&WeylCoordinates::cnot()),
+            1
+        );
+        assert_eq!(
+            TwoQubitBasisCost::ISwap.gate_count(&WeylCoordinates::iswap()),
+            1
+        );
         let syc_coords = WeylCoordinates::of(&gates::syc());
         assert_eq!(TwoQubitBasisCost::Syc.gate_count(&syc_coords), 1);
     }
@@ -159,8 +168,10 @@ mod tests {
     #[test]
     fn syc_basis_coordinates_match_numeric_value() {
         let numeric = WeylCoordinates::of(&gates::syc());
-        assert!(numeric.approx_eq(&TwoQubitBasisCost::Syc.basis_coordinates(), 1e-5),
-            "analytic SYC coordinates disagree with the numeric KAK result: {numeric}");
+        assert!(
+            numeric.approx_eq(&TwoQubitBasisCost::Syc.basis_coordinates(), 1e-5),
+            "analytic SYC coordinates disagree with the numeric KAK result: {numeric}"
+        );
     }
 
     #[test]

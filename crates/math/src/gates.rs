@@ -69,10 +69,7 @@ pub fn t_gate() -> Matrix2 {
 pub fn rx(theta: f64) -> Matrix2 {
     let c = (theta / 2.0).cos();
     let s = (theta / 2.0).sin();
-    Matrix2::new([
-        [c64(c, 0.0), c64(0.0, -s)],
-        [c64(0.0, -s), c64(c, 0.0)],
-    ])
+    Matrix2::new([[c64(c, 0.0), c64(0.0, -s)], [c64(0.0, -s), c64(c, 0.0)]])
 }
 
 /// Rotation about Y: `Ry(θ) = exp(-i θ Y / 2)`.

@@ -91,7 +91,7 @@ impl Matrix2 {
         let mut out = *self;
         for row in out.data.iter_mut() {
             for e in row.iter_mut() {
-                *e = *e * s;
+                *e *= s;
             }
         }
         out
@@ -230,9 +230,9 @@ impl Matrix4 {
     /// Matrix-vector product.
     pub fn mul_vec(&self, v: [Complex; 4]) -> [Complex; 4] {
         let mut out = [Complex::zero(); 4];
-        for i in 0..4 {
-            for k in 0..4 {
-                out[i] += self.data[i][k] * v[k];
+        for (o, row) in out.iter_mut().zip(&self.data) {
+            for (&e, &x) in row.iter().zip(&v) {
+                *o += e * x;
             }
         }
         out
@@ -254,7 +254,7 @@ impl Matrix4 {
         let mut out = *self;
         for row in out.data.iter_mut() {
             for e in row.iter_mut() {
-                *e = *e * s;
+                *e *= s;
             }
         }
         out
@@ -308,10 +308,10 @@ impl Matrix4 {
             out
         };
         let mut det = Complex::zero();
-        for j in 0..4 {
+        for (j, &m0j) in m[0].iter().enumerate() {
             let minor = det3(rows, cols_for(j));
             let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
-            det += m[0][j] * minor * sign;
+            det += m0j * minor * sign;
         }
         det
     }
@@ -495,7 +495,9 @@ mod tests {
         assert!(cx10.data[3][1].approx_eq(Complex::one(), 1e-12));
         assert!(cx10.is_unitary(1e-12));
         // SWAP is symmetric under qubit exchange.
-        assert!(gates::swap().exchange_qubits().approx_eq(&gates::swap(), 1e-12));
+        assert!(gates::swap()
+            .exchange_qubits()
+            .approx_eq(&gates::swap(), 1e-12));
     }
 
     #[test]
@@ -512,7 +514,12 @@ mod tests {
         assert!(v[0].approx_eq(Complex::zero(), 1e-12));
         assert!(v[1].approx_eq(Complex::one(), 1e-12));
         let sw = gates::swap();
-        let v4 = sw.mul_vec([Complex::zero(), Complex::one(), Complex::zero(), Complex::zero()]);
+        let v4 = sw.mul_vec([
+            Complex::zero(),
+            Complex::one(),
+            Complex::zero(),
+            Complex::zero(),
+        ]);
         assert!(v4[2].approx_eq(Complex::one(), 1e-12));
     }
 }

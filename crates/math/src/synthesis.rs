@@ -86,18 +86,33 @@ pub fn cnot_count(circuit: &[SynthGate]) -> usize {
 /// Exact 2-CNOT circuit for `exp(iθ ZZ)`.
 pub fn zz_circuit(theta: f64) -> Vec<SynthGate> {
     vec![
-        SynthGate::Cnot { control: 0, target: 1 },
+        SynthGate::Cnot {
+            control: 0,
+            target: 1,
+        },
         SynthGate::Rz(1, -2.0 * theta),
-        SynthGate::Cnot { control: 0, target: 1 },
+        SynthGate::Cnot {
+            control: 0,
+            target: 1,
+        },
     ]
 }
 
 /// Exact 3-CNOT circuit for SWAP.
 pub fn swap_circuit() -> Vec<SynthGate> {
     vec![
-        SynthGate::Cnot { control: 0, target: 1 },
-        SynthGate::Cnot { control: 1, target: 0 },
-        SynthGate::Cnot { control: 0, target: 1 },
+        SynthGate::Cnot {
+            control: 0,
+            target: 1,
+        },
+        SynthGate::Cnot {
+            control: 1,
+            target: 0,
+        },
+        SynthGate::Cnot {
+            control: 0,
+            target: 1,
+        },
     ]
 }
 
@@ -105,10 +120,19 @@ pub fn swap_circuit() -> Vec<SynthGate> {
 /// unified unitary of Fig. 5 in the paper).
 pub fn dressed_zz_swap_circuit(theta: f64) -> Vec<SynthGate> {
     vec![
-        SynthGate::Cnot { control: 0, target: 1 },
+        SynthGate::Cnot {
+            control: 0,
+            target: 1,
+        },
         SynthGate::Rz(1, -2.0 * theta),
-        SynthGate::Cnot { control: 1, target: 0 },
-        SynthGate::Cnot { control: 0, target: 1 },
+        SynthGate::Cnot {
+            control: 1,
+            target: 0,
+        },
+        SynthGate::Cnot {
+            control: 0,
+            target: 1,
+        },
     ]
 }
 
@@ -234,6 +258,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "distinct indices")]
     fn cnot_rejects_identical_qubits() {
-        let _ = SynthGate::Cnot { control: 0, target: 0 }.matrix();
+        let _ = SynthGate::Cnot {
+            control: 0,
+            target: 0,
+        }
+        .matrix();
     }
 }

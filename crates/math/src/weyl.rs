@@ -63,7 +63,10 @@ impl MakhlinInvariants {
     ///
     /// Panics (in debug builds) if `u` is not unitary.
     pub fn of(u: &Matrix4) -> Self {
-        debug_assert!(u.is_unitary(1e-6), "Makhlin invariants require a unitary matrix");
+        debug_assert!(
+            u.is_unitary(1e-6),
+            "Makhlin invariants require a unitary matrix"
+        );
         let m = magic_basis();
         let um = m.dagger().mul(u).mul(&m);
         let gamma = um.transpose().mul(&um);
@@ -96,22 +99,38 @@ pub struct WeylCoordinates {
 impl WeylCoordinates {
     /// Coordinates of the identity class.
     pub fn identity() -> Self {
-        Self { c1: 0.0, c2: 0.0, c3: 0.0 }
+        Self {
+            c1: 0.0,
+            c2: 0.0,
+            c3: 0.0,
+        }
     }
 
     /// Coordinates of the CNOT/CZ class, `(π/4, 0, 0)`.
     pub fn cnot() -> Self {
-        Self { c1: FRAC_PI_4, c2: 0.0, c3: 0.0 }
+        Self {
+            c1: FRAC_PI_4,
+            c2: 0.0,
+            c3: 0.0,
+        }
     }
 
     /// Coordinates of the iSWAP class, `(π/4, π/4, 0)`.
     pub fn iswap() -> Self {
-        Self { c1: FRAC_PI_4, c2: FRAC_PI_4, c3: 0.0 }
+        Self {
+            c1: FRAC_PI_4,
+            c2: FRAC_PI_4,
+            c3: 0.0,
+        }
     }
 
     /// Coordinates of the SWAP class, `(π/4, π/4, π/4)`.
     pub fn swap() -> Self {
-        Self { c1: FRAC_PI_4, c2: FRAC_PI_4, c3: FRAC_PI_4 }
+        Self {
+            c1: FRAC_PI_4,
+            c2: FRAC_PI_4,
+            c3: FRAC_PI_4,
+        }
     }
 
     /// Builds coordinates analytically from interaction parameters, i.e. the
@@ -139,7 +158,10 @@ impl WeylCoordinates {
     ///
     /// Panics (in debug builds) if `u` is not unitary.
     pub fn of(u: &Matrix4) -> Self {
-        debug_assert!(u.is_unitary(1e-6), "Weyl coordinates require a unitary matrix");
+        debug_assert!(
+            u.is_unitary(1e-6),
+            "Weyl coordinates require a unitary matrix"
+        );
         let m = magic_basis();
         let mut um = m.dagger().mul(u).mul(&m);
         // Normalise to determinant 1 (the i^k branch ambiguity only shifts
@@ -178,7 +200,11 @@ impl WeylCoordinates {
             })
             .collect();
         cs.sort_by(|a, b| b.partial_cmp(a).expect("weyl coordinates are finite"));
-        Self { c1: cs[0], c2: cs[1], c3: cs[2] }
+        Self {
+            c1: cs[0],
+            c2: cs[1],
+            c3: cs[2],
+        }
     }
 
     /// The coordinates as an array `[c1, c2, c3]`.
@@ -286,7 +312,12 @@ fn durand_kerner(coeffs: [Complex; 4]) -> [Complex; 4] {
     };
     // Standard non-real, non-root-of-unity starting points.
     let seed = c64(0.4, 0.9);
-    let mut roots = [seed, seed * seed, seed * seed * seed, seed * seed * seed * seed];
+    let mut roots = [
+        seed,
+        seed * seed,
+        seed * seed * seed,
+        seed * seed * seed * seed,
+    ];
     for _ in 0..200 {
         let mut max_step = 0.0f64;
         for i in 0..4 {
@@ -369,8 +400,9 @@ mod tests {
 
     #[test]
     fn weyl_coordinates_of_reference_gates() {
-        assert!(WeylCoordinates::of(&Matrix4::identity())
-            .approx_eq(&WeylCoordinates::identity(), 1e-6));
+        assert!(
+            WeylCoordinates::of(&Matrix4::identity()).approx_eq(&WeylCoordinates::identity(), 1e-6)
+        );
         assert!(WeylCoordinates::of(&gates::cnot()).approx_eq(&WeylCoordinates::cnot(), 1e-6));
         assert!(WeylCoordinates::of(&gates::cz()).approx_eq(&WeylCoordinates::cnot(), 1e-6));
         assert!(WeylCoordinates::of(&gates::iswap()).approx_eq(&WeylCoordinates::iswap(), 1e-6));
@@ -409,14 +441,24 @@ mod tests {
             ],
         );
         let coords = WeylCoordinates::of(&dressed);
-        assert!(base.approx_eq(&coords, 1e-5), "base {base} vs dressed {coords}");
+        assert!(
+            base.approx_eq(&coords, 1e-5),
+            "base {base} vs dressed {coords}"
+        );
     }
 
     #[test]
     fn canonicalization_folds_and_sorts() {
         // Plain chamber point stays put (sorted).
         let w = WeylCoordinates::from_interaction(0.1, 0.3, 0.2);
-        assert!(w.approx_eq(&WeylCoordinates { c1: 0.3, c2: 0.2, c3: 0.1 }, 1e-12));
+        assert!(w.approx_eq(
+            &WeylCoordinates {
+                c1: 0.3,
+                c2: 0.2,
+                c3: 0.1
+            },
+            1e-12
+        ));
         // Values above π/4 reflect back.
         let w = WeylCoordinates::from_interaction(FRAC_PI_2 - 0.1, 0.0, 0.0);
         assert!((w.c1 - 0.1).abs() < 1e-12);
@@ -426,7 +468,14 @@ mod tests {
         assert!(a.approx_eq(&b, 1e-12));
         // Negative parameters fold into the chamber too.
         let n = WeylCoordinates::from_interaction(-0.2, 0.1, 0.0);
-        assert!(n.approx_eq(&WeylCoordinates { c1: 0.2, c2: 0.1, c3: 0.0 }, 1e-12));
+        assert!(n.approx_eq(
+            &WeylCoordinates {
+                c1: 0.2,
+                c2: 0.1,
+                c3: 0.0
+            },
+            1e-12
+        ));
     }
 
     #[test]

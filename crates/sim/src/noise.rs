@@ -54,11 +54,14 @@ impl NoiseModel {
     /// error, given its hardware metrics and the number of measured qubits.
     pub fn circuit_fidelity(&self, metrics: &HardwareMetrics, measured_qubits: usize) -> f64 {
         let c = &self.calibration;
-        let two_qubit = c.two_qubit_fidelity().powi(metrics.hardware_two_qubit_count as i32);
+        let two_qubit = c
+            .two_qubit_fidelity()
+            .powi(metrics.hardware_two_qubit_count as i32);
         // Single-qubit gates: the explicit rotations plus the layers the
         // decomposition interleaves between native gates (estimated as one
         // rotation per native two-qubit gate per qubit).
-        let single_count = metrics.explicit_single_qubit_count + 2 * metrics.hardware_two_qubit_count;
+        let single_count =
+            metrics.explicit_single_qubit_count + 2 * metrics.hardware_two_qubit_count;
         let single_qubit = c.single_qubit_fidelity().powi(single_count as i32);
         let readout = (1.0 - c.readout_error).powi(measured_qubits as i32);
         let idle_time_ns = metrics.hardware_two_qubit_depth as f64 * c.two_qubit_gate_ns
@@ -74,7 +77,12 @@ impl NoiseModel {
 
     /// The noisy expectation of a traceless observable under the global
     /// depolarizing approximation.
-    pub fn noisy_expectation(&self, ideal_expectation: f64, metrics: &HardwareMetrics, measured_qubits: usize) -> f64 {
+    pub fn noisy_expectation(
+        &self,
+        ideal_expectation: f64,
+        metrics: &HardwareMetrics,
+        measured_qubits: usize,
+    ) -> f64 {
         self.circuit_fidelity(metrics, measured_qubits) * ideal_expectation
     }
 
@@ -138,7 +146,9 @@ mod tests {
     #[test]
     fn noisy_expectation_shrinks_towards_zero() {
         let m = metrics_of(
-            &(0..10).map(|i| Gate::canonical(i, i + 1, 0.0, 0.0, 0.3)).collect::<Vec<_>>(),
+            &(0..10)
+                .map(|i| Gate::canonical(i, i + 1, 0.0, 0.0, 0.3))
+                .collect::<Vec<_>>(),
             11,
         );
         let model = NoiseModel::from_device(&Device::montreal());

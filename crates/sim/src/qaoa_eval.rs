@@ -69,7 +69,11 @@ pub fn evaluate_qaoa(
 /// from a linear-ramp initialisation.  The returned parameters are the best
 /// found — adequate for reproducing the *relative* compiler comparison of
 /// Fig. 10, which only needs a common, sensible parameter choice.
-pub fn optimize_angles(problem: &QaoaProblem, layers: usize, grid_points: usize) -> Vec<(f64, f64)> {
+pub fn optimize_angles(
+    problem: &QaoaProblem,
+    layers: usize,
+    grid_points: usize,
+) -> Vec<(f64, f64)> {
     let (g1, b1) = QaoaProblem::optimal_p1_angles_regular3();
     let mut params: Vec<(f64, f64)> = (0..layers)
         .map(|l| {
@@ -91,7 +95,11 @@ pub fn optimize_angles(problem: &QaoaProblem, layers: usize, grid_points: usize)
     for _sweep in 0..2 {
         for layer in 0..layers {
             for param_idx in 0..2 {
-                let current = if param_idx == 0 { params[layer].0 } else { params[layer].1 };
+                let current = if param_idx == 0 {
+                    params[layer].0
+                } else {
+                    params[layer].1
+                };
                 let span = if param_idx == 0 { 1.2 } else { 0.8 };
                 for k in 0..grid_points {
                     let candidate_value =
@@ -135,7 +143,10 @@ mod tests {
         let problem = QaoaProblem::new(Graph::cycle(4));
         let (g, b) = QaoaProblem::optimal_p1_angles_regular3();
         let c = ideal_cost_expectation(&problem, &[(g, b)]);
-        assert!(c < 0.0, "QAOA at sensible angles should beat random guessing, got {c}");
+        assert!(
+            c < 0.0,
+            "QAOA at sensible angles should beat random guessing, got {c}"
+        );
         // And zero angles give exactly the random-guessing value 0.
         let zero = ideal_cost_expectation(&problem, &[(0.0, 0.0)]);
         assert!(zero.abs() < 1e-10);
@@ -171,7 +182,12 @@ mod tests {
     fn noiseless_evaluation_equals_ideal() {
         let problem = QaoaProblem::random_regular(6, 3, 2);
         let params = vec![QaoaProblem::optimal_p1_angles_regular3()];
-        let eval = evaluate_qaoa(&problem, &params, &dummy_metrics(10), &NoiseModel::noiseless());
+        let eval = evaluate_qaoa(
+            &problem,
+            &params,
+            &dummy_metrics(10),
+            &NoiseModel::noiseless(),
+        );
         assert!((eval.noisy_normalized - eval.ideal_normalized).abs() < 1e-12);
         assert!((eval.fidelity - 1.0).abs() < 1e-12);
     }
@@ -183,6 +199,9 @@ mod tests {
         let p2 = optimize_angles(&problem, 2, 10);
         let c1 = ideal_cost_expectation(&problem, &p1);
         let c2 = ideal_cost_expectation(&problem, &p2);
-        assert!(c2 <= c1 + 1e-6, "p=2 ({c2}) should not be worse than p=1 ({c1})");
+        assert!(
+            c2 <= c1 + 1e-6,
+            "p=2 ({c2}) should not be worse than p=1 ({c1})"
+        );
     }
 }

@@ -26,7 +26,10 @@ impl StateVector {
         assert!(num_qubits <= 26, "dense simulation limited to 26 qubits");
         let mut amplitudes = vec![Complex::zero(); 1 << num_qubits];
         amplitudes[0] = Complex::one();
-        Self { num_qubits, amplitudes }
+        Self {
+            num_qubits,
+            amplitudes,
+        }
     }
 
     /// The uniform superposition `|+⟩^{⊗n}` (the QAOA initial state).
@@ -86,7 +89,10 @@ impl StateVector {
     ///
     /// Panics if the qubit indices coincide or are out of range.
     pub fn apply_two(&mut self, qubit_a: usize, qubit_b: usize, u: &Matrix4) {
-        assert!(qubit_a < self.num_qubits && qubit_b < self.num_qubits, "qubit out of range");
+        assert!(
+            qubit_a < self.num_qubits && qubit_b < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(qubit_a, qubit_b, "two-qubit gate requires distinct qubits");
         let bit_a = 1usize << qubit_a;
         let bit_b = 1usize << qubit_b;
@@ -158,7 +164,13 @@ impl StateVector {
         self.amplitudes
             .iter()
             .enumerate()
-            .map(|(idx, amp)| if idx & bq != 0 { -amp.norm_sqr() } else { amp.norm_sqr() })
+            .map(|(idx, amp)| {
+                if idx & bq != 0 {
+                    -amp.norm_sqr()
+                } else {
+                    amp.norm_sqr()
+                }
+            })
             .sum()
     }
 
@@ -240,7 +252,10 @@ mod tests {
         let mut t = StateVector::zero_state(2);
         t.apply_circuit(&Circuit::from_gates(
             2,
-            vec![Gate::single(GateKind::H, 0), Gate::two(GateKind::Cnot, 0, 1)],
+            vec![
+                Gate::single(GateKind::H, 0),
+                Gate::two(GateKind::Cnot, 0, 1),
+            ],
         ));
         assert_eq!(s, t);
     }

@@ -29,7 +29,12 @@ pub struct TrajectorySimulator {
 impl TrajectorySimulator {
     /// Creates a trajectory simulator.
     pub fn new(noise: NoiseModel, basis: TwoQubitBasis, shots: usize, seed: u64) -> Self {
-        Self { noise, basis, shots, seed }
+        Self {
+            noise,
+            basis,
+            shots,
+            seed,
+        }
     }
 
     /// Number of shots per estimate.
@@ -125,7 +130,10 @@ mod tests {
         let mut state = StateVector::plus_state(4);
         state.apply_scheduled(&schedule);
         let exact = state.ising_cost_expectation(&edges);
-        assert!((value - exact).abs() < 1e-9, "trajectories {value} vs exact {exact}");
+        assert!(
+            (value - exact).abs() < 1e-9,
+            "trajectories {value} vs exact {exact}"
+        );
         assert!(exact < 0.0);
     }
 
@@ -148,8 +156,14 @@ mod tests {
             11,
         );
         let noisy = sim.ising_cost_expectation(&schedule, &edges);
-        assert!(noisy > exact, "noise must shrink the (negative) cost towards 0: {noisy} vs {exact}");
-        assert!(noisy < 0.5, "noisy estimate should stay well below random-plus-noise levels");
+        assert!(
+            noisy > exact,
+            "noise must shrink the (negative) cost towards 0: {noisy} vs {exact}"
+        );
+        assert!(
+            noisy < 0.5,
+            "noisy estimate should stay well below random-plus-noise levels"
+        );
     }
 
     #[test]
@@ -157,7 +171,8 @@ mod tests {
         let (schedule, edges) = ring_schedule(0.6157, std::f64::consts::FRAC_PI_8);
         let device = Device::montreal();
         let noise = NoiseModel::from_device(&device);
-        let metrics = twoqan_circuit::HardwareMetrics::of(&schedule, TwoQubitBasis::Cnot.cost_model());
+        let metrics =
+            twoqan_circuit::HardwareMetrics::of(&schedule, TwoQubitBasis::Cnot.cost_model());
         let mut state = StateVector::plus_state(4);
         state.apply_scheduled(&schedule);
         let ideal = state.ising_cost_expectation(&edges);

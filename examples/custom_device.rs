@@ -38,16 +38,32 @@ fn main() {
         .expect("10 qubits fit on the 16-qubit grid");
     assert!(result.hardware_compatible(&device));
 
-    println!("custom device: {} ({} qubits, {} edges)", device.name(), device.num_qubits(), device.topology().num_edges());
+    println!(
+        "custom device: {} ({} qubits, {} edges)",
+        device.name(),
+        device.num_qubits(),
+        device.topology().num_edges()
+    );
     println!("compiled with 2QAN:");
-    println!("  SWAPs: {} ({} dressed)", result.swap_count(), result.dressed_swap_count());
-    println!("  native {} gates: {}", result.basis, result.metrics.hardware_two_qubit_count);
-    println!("  two-qubit depth: {}", result.metrics.hardware_two_qubit_depth);
+    println!(
+        "  SWAPs: {} ({} dressed)",
+        result.swap_count(),
+        result.dressed_swap_count()
+    );
+    println!(
+        "  native {} gates: {}",
+        result.basis, result.metrics.hardware_two_qubit_count
+    );
+    println!(
+        "  two-qubit depth: {}",
+        result.metrics.hardware_two_qubit_depth
+    );
 
     // Verify the compiled circuit on the simulator: decompose it to an exact
     // CNOT-level circuit, simulate it, and compare the ZZ correlators with a
     // direct simulation of the uncompiled circuit.
-    let exact = decompose_to_cnot_exact(&result.hardware_circuit).expect("ZZ workloads decompose exactly");
+    let exact =
+        decompose_to_cnot_exact(&result.hardware_circuit).expect("ZZ workloads decompose exactly");
     let mut hardware_state = StateVector::plus_state(device.num_qubits());
     hardware_state.apply_circuit(&exact);
 
@@ -74,6 +90,9 @@ fn main() {
         max_error = max_error.max((logical_value - physical_value).abs());
     }
     println!("  max |⟨ZZ⟩ difference| between logical and compiled circuit: {max_error:.2e}");
-    assert!(max_error < 1e-9, "compiled circuit must reproduce the logical correlators");
+    assert!(
+        max_error < 1e-9,
+        "compiled circuit must reproduce the logical correlators"
+    );
     println!("  semantics verified on the state-vector simulator ✓");
 }

@@ -37,7 +37,8 @@ fn main() {
                     m.swap_count,
                     m.dressed_swap_count,
                     m.hardware_two_qubit_count,
-                    m.hardware_two_qubit_count as i64 - baseline.metrics.hardware_two_qubit_count as i64,
+                    m.hardware_two_qubit_count as i64
+                        - baseline.metrics.hardware_two_qubit_count as i64,
                     m.hardware_two_qubit_depth
                 );
             }

@@ -21,7 +21,10 @@ fn main() {
         problem.num_edges(),
         problem.max_cut_brute_force()
     );
-    println!("\n{:<14} {:>6} {:>8} {:>9} {:>10} {:>12}", "compiler", "SWAPs", "dressed", "CNOTs", "fidelity", "E(C)/Cmin");
+    println!(
+        "\n{:<14} {:>6} {:>8} {:>9} {:>10} {:>12}",
+        "compiler", "SWAPs", "dressed", "CNOTs", "fidelity", "E(C)/Cmin"
+    );
 
     // 2QAN.
     let two_qan = TwoQanCompiler::new(TwoQanConfig::default())
@@ -40,10 +43,28 @@ fn main() {
 
     // Baselines.
     let baselines: Vec<(&str, twoqan_repro::twoqan_circuit::HardwareMetrics)> = vec![
-        ("tket-like", GenericCompiler::tket_like().compile(&layer, &device).metrics),
-        ("Qiskit-like", GenericCompiler::qiskit_like().compile(&layer, &device).metrics),
-        ("IC-QAOA", IcQaoaCompiler::default().compile(&layer, &device).metrics),
-        ("NoMap", NoMapCompiler::new().compile_for_device(&layer, &device).metrics),
+        (
+            "tket-like",
+            GenericCompiler::tket_like()
+                .compile(&layer, &device)
+                .metrics,
+        ),
+        (
+            "Qiskit-like",
+            GenericCompiler::qiskit_like()
+                .compile(&layer, &device)
+                .metrics,
+        ),
+        (
+            "IC-QAOA",
+            IcQaoaCompiler::default().compile(&layer, &device).metrics,
+        ),
+        (
+            "NoMap",
+            NoMapCompiler::new()
+                .compile_for_device(&layer, &device)
+                .metrics,
+        ),
     ];
     for (name, metrics) in baselines {
         let eval = evaluate_qaoa(&problem, &params, &metrics, &noise);

@@ -36,20 +36,39 @@ fn main() {
     // 4. Inspect the result.
     println!("\n2QAN compilation result:");
     println!("  inserted SWAPs          : {}", result.swap_count());
-    println!("  dressed SWAPs (merged)  : {}", result.dressed_swap_count());
-    println!("  hardware {} gates     : {}", result.basis, result.metrics.hardware_two_qubit_count);
-    println!("  two-qubit depth         : {}", result.metrics.hardware_two_qubit_depth);
-    println!("  total depth (estimate)  : {}", result.metrics.total_depth_estimate);
+    println!(
+        "  dressed SWAPs (merged)  : {}",
+        result.dressed_swap_count()
+    );
+    println!(
+        "  hardware {} gates     : {}",
+        result.basis, result.metrics.hardware_two_qubit_count
+    );
+    println!(
+        "  two-qubit depth         : {}",
+        result.metrics.hardware_two_qubit_depth
+    );
+    println!(
+        "  total depth (estimate)  : {}",
+        result.metrics.total_depth_estimate
+    );
 
     // 5. Compare against the connectivity-unconstrained baseline to see the
     //    compilation overhead.
     let baseline = NoMapCompiler::new().compile_for_device(&circuit, &device);
     println!("\nNoMap baseline (all-to-all connectivity):");
-    println!("  hardware {} gates     : {}", baseline.basis, baseline.metrics.hardware_two_qubit_count);
-    println!("  two-qubit depth         : {}", baseline.metrics.hardware_two_qubit_depth);
+    println!(
+        "  hardware {} gates     : {}",
+        baseline.basis, baseline.metrics.hardware_two_qubit_count
+    );
+    println!(
+        "  two-qubit depth         : {}",
+        baseline.metrics.hardware_two_qubit_depth
+    );
     println!(
         "\ngate-count overhead of the mapped circuit: {} extra {} gates",
-        result.metrics.hardware_two_qubit_count as i64 - baseline.metrics.hardware_two_qubit_count as i64,
+        result.metrics.hardware_two_qubit_count as i64
+            - baseline.metrics.hardware_two_qubit_count as i64,
         result.basis
     );
 }

@@ -37,8 +37,6 @@ pub mod prelude {
     };
     pub use twoqan_circuit::{Circuit, Gate, GateKind, Qubit};
     pub use twoqan_device::{Device, GateSet, TwoQubitBasis};
-    pub use twoqan_ham::{
-        nnn_heisenberg, nnn_ising, nnn_xy, trotterize, Hamiltonian, QaoaProblem,
-    };
+    pub use twoqan_ham::{nnn_heisenberg, nnn_ising, nnn_xy, trotterize, Hamiltonian, QaoaProblem};
     pub use twoqan_sim::{NoiseModel, StateVector};
 }

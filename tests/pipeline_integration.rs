@@ -40,10 +40,18 @@ fn all_models_compile_onto_all_devices_and_stay_hardware_compatible() {
                 .hardware_circuit
                 .iter_gates()
                 .filter(|g| {
-                    matches!(g.kind, GateKind::Canonical { .. } | GateKind::DressedSwap { .. })
+                    matches!(
+                        g.kind,
+                        GateKind::Canonical { .. } | GateKind::DressedSwap { .. }
+                    )
                 })
                 .count();
-            assert_eq!(app_gates, unified.two_qubit_gate_count(), "{name} on {}", device.name());
+            assert_eq!(
+                app_gates,
+                unified.two_qubit_gate_count(),
+                "{name} on {}",
+                device.name()
+            );
         }
     }
 }
@@ -81,7 +89,8 @@ fn compiled_commuting_circuit_is_exactly_equivalent_on_the_simulator() {
     let result = compile_2qan(&circuit, &device);
     assert!(result.hardware_compatible(&device));
 
-    let exact = decompose_to_cnot_exact(&result.hardware_circuit).expect("ZZ circuits decompose exactly");
+    let exact =
+        decompose_to_cnot_exact(&result.hardware_circuit).expect("ZZ circuits decompose exactly");
     let mut hardware = StateVector::plus_state(device.num_qubits());
     hardware.apply_circuit(&exact);
     let mut logical = StateVector::plus_state(circuit.num_qubits());
@@ -132,8 +141,7 @@ fn table3_anchor_values_hold() {
     use twoqan_repro::twoqan_ham::{heisenberg_lattice, trotter_step, LatticeDimensions};
 
     let h1 = heisenberg_lattice(LatticeDimensions::OneD(30), 1);
-    let paulihedral = PaulihedralCompiler::new()
-        .compile_all_to_all(&h1, 1.0, TwoQubitBasis::Cnot);
+    let paulihedral = PaulihedralCompiler::new().compile_all_to_all(&h1, 1.0, TwoQubitBasis::Cnot);
     let two_qan = NoMapCompiler::new().compile(&trotter_step(&h1, 1.0), TwoQubitBasis::Cnot);
     // Both achieve 29 edges × 3 CNOTs = 87 on the 1-D chain (Table III row 1).
     assert_eq!(paulihedral.metrics.hardware_two_qubit_count, 87);
@@ -163,7 +171,10 @@ fn heisenberg_on_sycamore_has_negligible_syc_overhead() {
     );
     // And the generic baseline pays much more.
     let tket = GenericCompiler::tket_like().compile(&circuit, &device);
-    assert!(tket.metrics.hardware_two_qubit_count as f64 > baseline.metrics.hardware_two_qubit_count as f64 * 1.2);
+    assert!(
+        tket.metrics.hardware_two_qubit_count as f64
+            > baseline.metrics.hardware_two_qubit_count as f64 * 1.2
+    );
 }
 
 #[test]
@@ -174,5 +185,8 @@ fn multi_layer_schedules_reverse_and_scale() {
     let result = compile_2qan(&circuit, &device);
     let layer2 = result.layer_schedule(0.5, 2.0, true);
     assert_eq!(layer2.gate_count(), result.hardware_circuit.gate_count());
-    assert_eq!(layer2.two_qubit_gate_count(), result.hardware_circuit.two_qubit_gate_count());
+    assert_eq!(
+        layer2.two_qubit_gate_count(),
+        result.hardware_circuit.two_qubit_gate_count()
+    );
 }

@@ -1,131 +1,229 @@
 //! Property-based tests over the core invariants of the reproduction.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these use a small seeded-RNG harness: each property draws a fixed number
+//! of random cases from a deterministic generator, so failures are
+//! reproducible from the seed embedded in the test.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use twoqan_repro::prelude::*;
 use twoqan_repro::twoqan_circuit::GateKind;
+use twoqan_repro::twoqan_graphs::{
+    simulated_annealing, tabu_search, AnnealingConfig, DeltaTable, DistanceMatrix, Graph,
+    QapProblem, TabuConfig,
+};
 use twoqan_repro::twoqan_math::cost::TwoQubitBasisCost;
 use twoqan_repro::twoqan_math::weyl::{MakhlinInvariants, WeylCoordinates};
 use twoqan_repro::twoqan_math::{gates, Matrix4};
 
-/// A random 2-local interaction circuit on `n` qubits with `m` two-qubit
-/// canonical gates (possibly repeated pairs) and random coefficients.
-fn arbitrary_circuit(max_qubits: usize) -> impl Strategy<Value = Circuit> {
-    (4..=max_qubits, 1usize..=20).prop_flat_map(|(n, m)| {
-        let pair = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
-        proptest::collection::vec((pair, 0.0..1.5f64, 0.0..1.5f64, 0.0..1.5f64), m).prop_map(
-            move |gates| {
-                let mut c = Circuit::new(n);
-                for ((a, b), xx, yy, zz) in gates {
-                    c.push(Gate::canonical(a, b, xx, yy, zz));
-                }
-                c
-            },
-        )
-    })
+/// Runs `property` over `cases` independent random cases drawn from a
+/// deterministically seeded generator.
+fn for_random_cases(cases: usize, seed: u64, mut property: impl FnMut(&mut StdRng)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..cases {
+        property(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random 2-local interaction circuit on `n` qubits with up to 20
+/// two-qubit canonical gates (possibly repeated pairs) and random
+/// coefficients — the `arbitrary_circuit` strategy of the proptest version.
+fn arbitrary_circuit(n: usize, rng: &mut StdRng) -> Circuit {
+    let m = rng.gen_range(1..21usize);
+    let mut c = Circuit::new(n);
+    for _ in 0..m {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        if a == b {
+            b = (b + 1) % n;
+        }
+        c.push(Gate::canonical(
+            a,
+            b,
+            rng.gen_range(0.0..1.5),
+            rng.gen_range(0.0..1.5),
+            rng.gen_range(0.0..1.5),
+        ));
+    }
+    c
+}
 
-    /// Weyl coordinates always land in the folded chamber and the derived
-    /// gate counts are in range for every basis.
-    #[test]
-    fn weyl_coordinates_stay_in_chamber(a in -6.0..6.0f64, b in -6.0..6.0f64, c in -6.0..6.0f64) {
+/// A random QAP instance: random interactions over `n` circuit qubits,
+/// padded onto a random grid device — the exact shape the mapping pass
+/// produces.
+fn arbitrary_qap(rng: &mut StdRng) -> QapProblem {
+    let rows = rng.gen_range(2..4usize);
+    let cols = rng.gen_range(3..5usize);
+    let m = rows * cols;
+    let n = rng.gen_range(3..=m.min(9));
+    let num_gates = rng.gen_range(1..12usize);
+    let mut interactions = Vec::with_capacity(num_gates);
+    for _ in 0..num_gates {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        if a == b {
+            b = (b + 1) % n;
+        }
+        interactions.push((a, b));
+    }
+    let hw = DistanceMatrix::bfs(&Graph::grid(rows, cols));
+    // Pad to the device size, as `initial_mapping` does, so the instance has
+    // dummy facilities and the dummy-skipping paths are exercised.
+    QapProblem::from_interactions(m, &interactions, &hw)
+}
+
+/// Weyl coordinates always land in the folded chamber and the derived
+/// gate counts are in range for every basis.
+#[test]
+fn weyl_coordinates_stay_in_chamber() {
+    for_random_cases(24, 101, |rng| {
+        let (a, b, c) = (
+            rng.gen_range(-6.0..6.0),
+            rng.gen_range(-6.0..6.0),
+            rng.gen_range(-6.0..6.0),
+        );
         let w = WeylCoordinates::from_interaction(a, b, c);
-        prop_assert!(w.c1 >= w.c2 && w.c2 >= w.c3);
-        prop_assert!(w.c3 >= 0.0);
-        prop_assert!(w.c1 <= std::f64::consts::FRAC_PI_4 + 1e-9);
+        assert!(w.c1 >= w.c2 && w.c2 >= w.c3);
+        assert!(w.c3 >= 0.0);
+        assert!(w.c1 <= std::f64::consts::FRAC_PI_4 + 1e-9);
         for basis in TwoQubitBasisCost::ALL {
-            prop_assert!(basis.gate_count(&w) <= 3);
+            assert!(basis.gate_count(&w) <= 3);
         }
         // Canonicalisation is idempotent.
         let again = WeylCoordinates::from_interaction(w.c1, w.c2, w.c3);
-        prop_assert!(w.approx_eq(&again, 1e-9));
-    }
+        assert!(w.approx_eq(&again, 1e-9));
+    });
+}
 
-    /// The numeric (spectral) Weyl coordinates of a canonical gate match the
-    /// analytic ones, and local invariants agree for locally-dressed copies.
-    #[test]
-    fn numeric_and_analytic_weyl_agree(a in 0.0..1.5f64, b in 0.0..1.5f64, c in 0.0..1.5f64, t in 0.0..3.0f64) {
+/// The numeric (spectral) Weyl coordinates of a canonical gate match the
+/// analytic ones, and local invariants agree for locally-dressed copies.
+#[test]
+fn numeric_and_analytic_weyl_agree() {
+    for_random_cases(24, 102, |rng| {
+        let (a, b, c) = (
+            rng.gen_range(0.0..1.5),
+            rng.gen_range(0.0..1.5),
+            rng.gen_range(0.0..1.5),
+        );
+        let t = rng.gen_range(0.0..3.0);
         let u = gates::canonical(a, b, c);
         let numeric = WeylCoordinates::of(&u);
         let analytic = WeylCoordinates::from_interaction(a, b, c);
-        prop_assert!(numeric.approx_eq(&analytic, 1e-4), "numeric {numeric} vs analytic {analytic}");
+        assert!(
+            numeric.approx_eq(&analytic, 1e-4),
+            "numeric {numeric} vs analytic {analytic}"
+        );
         let dressed = gates::embed_single(&gates::rz(t), 0)
             .mul(&u)
             .mul(&gates::embed_single(&gates::rx(t), 1));
         let inv_a = MakhlinInvariants::of(&u);
         let inv_b = MakhlinInvariants::of(&dressed);
-        prop_assert!(inv_a.approx_eq(&inv_b, 1e-7));
-    }
+        assert!(inv_a.approx_eq(&inv_b, 1e-7));
+    });
+}
 
-    /// Canonical gates compose additively, so the unified gate of two
-    /// same-pair exponentials equals their matrix product.
-    #[test]
-    fn same_pair_unification_is_exact(a1 in 0.0..1.0f64, b1 in 0.0..1.0f64, c1 in 0.0..1.0f64,
-                                      a2 in 0.0..1.0f64, b2 in 0.0..1.0f64, c2 in 0.0..1.0f64) {
+/// Canonical gates compose additively, so the unified gate of two
+/// same-pair exponentials equals their matrix product.
+#[test]
+fn same_pair_unification_is_exact() {
+    for_random_cases(24, 103, |rng| {
+        let (a1, b1, c1) = (
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+        );
+        let (a2, b2, c2) = (
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+        );
         let product = gates::canonical(a1, b1, c1).mul(&gates::canonical(a2, b2, c2));
         let unified = gates::canonical(a1 + a2, b1 + b2, c1 + c2);
-        prop_assert!(product.approx_eq(&unified, 1e-9));
-    }
+        assert!(product.approx_eq(&unified, 1e-9));
+    });
+}
 
-    /// The 2QAN pipeline always produces a hardware-compatible circuit that
-    /// preserves every application operator, for random interaction circuits
-    /// on random grid devices.
-    #[test]
-    fn pipeline_preserves_operators_on_random_grids(
-        circuit in arbitrary_circuit(9),
-        rows in 2usize..=3,
-        cols in 3usize..=4,
-    ) {
-        prop_assume!(circuit.num_qubits() <= rows * cols);
+/// The 2QAN pipeline always produces a hardware-compatible circuit that
+/// preserves every application operator, for random interaction circuits
+/// on random grid devices.
+#[test]
+fn pipeline_preserves_operators_on_random_grids() {
+    for_random_cases(24, 104, |rng| {
+        let rows = rng.gen_range(2..4usize);
+        let cols = rng.gen_range(3..5usize);
+        let n = rng.gen_range(4..=(rows * cols).min(9));
+        let circuit = arbitrary_circuit(n, rng);
         let device = Device::grid(rows, cols, TwoQubitBasis::Cnot);
-        let result = TwoQanCompiler::new(TwoQanConfig { mapping_trials: 1, ..TwoQanConfig::default() })
-            .compile(&circuit, &device)
-            .unwrap();
-        prop_assert!(result.hardware_compatible(&device));
+        let result = TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 1,
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
+        assert!(result.hardware_compatible(&device));
         let unified = circuit.unify_same_pair_gates();
         let app_gates = result
             .hardware_circuit
             .iter_gates()
-            .filter(|g| matches!(g.kind, GateKind::Canonical { .. } | GateKind::DressedSwap { .. }))
+            .filter(|g| {
+                matches!(
+                    g.kind,
+                    GateKind::Canonical { .. } | GateKind::DressedSwap { .. }
+                )
+            })
             .count();
-        prop_assert_eq!(app_gates, unified.two_qubit_gate_count());
-        // Metrics consistency: the native gate count is at least twice the
-        // number of entangling application operators (each needs ≥ 2 CNOTs
-        // unless it is locally trivial) and SWAP counts are consistent.
-        prop_assert!(result.metrics.dressed_swap_count <= result.metrics.swap_count);
-        prop_assert!(result.hardware_circuit.is_valid());
-    }
+        assert_eq!(app_gates, unified.two_qubit_gate_count());
+        // Metrics consistency: dressed SWAPs are a subset of all SWAPs and
+        // the schedule is structurally valid.
+        assert!(result.metrics.dressed_swap_count <= result.metrics.swap_count);
+        assert!(result.hardware_circuit.is_valid());
+    });
+}
 
-    /// The generic baselines also always produce hardware-compatible
-    /// circuits and never merge SWAPs.
-    #[test]
-    fn generic_baselines_are_hardware_compatible(circuit in arbitrary_circuit(9)) {
+/// The generic baselines also always produce hardware-compatible
+/// circuits and never merge SWAPs.
+#[test]
+fn generic_baselines_are_hardware_compatible() {
+    for_random_cases(12, 105, |rng| {
+        let circuit = arbitrary_circuit(rng.gen_range(4..10usize), rng);
         let device = Device::montreal();
         for result in [
             GenericCompiler::tket_like().compile(&circuit, &device),
             GenericCompiler::qiskit_like().compile(&circuit, &device),
         ] {
-            prop_assert!(result.hardware_compatible(&device));
-            prop_assert_eq!(result.metrics.dressed_swap_count, 0);
+            assert!(result.hardware_compatible(&device));
+            assert_eq!(result.metrics.dressed_swap_count, 0);
             let app_gates = result
                 .hardware_circuit
                 .iter_gates()
                 .filter(|g| matches!(g.kind, GateKind::Canonical { .. }))
                 .count();
-            prop_assert_eq!(app_gates, circuit.unify_same_pair_gates().two_qubit_gate_count());
+            assert_eq!(
+                app_gates,
+                circuit.unify_same_pair_gates().two_qubit_gate_count()
+            );
         }
-    }
+    });
+}
 
-    /// State-vector evolution is norm-preserving and ZZ rotations commute
-    /// with each other (permuting them never changes the state).
-    #[test]
-    fn simulator_preserves_norm_and_commuting_permutations(
-        edges in proptest::collection::vec((0usize..6, 0usize..6, 0.0..1.0f64), 1..8),
-    ) {
-        let valid: Vec<(usize, usize, f64)> = edges.into_iter().filter(|(a, b, _)| a != b).collect();
-        prop_assume!(!valid.is_empty());
+/// State-vector evolution is norm-preserving and ZZ rotations commute
+/// with each other (permuting them never changes the state).
+#[test]
+fn simulator_preserves_norm_and_commuting_permutations() {
+    for_random_cases(24, 106, |rng| {
+        let num_edges = rng.gen_range(1..8usize);
+        let mut valid: Vec<(usize, usize, f64)> = Vec::with_capacity(num_edges);
+        for _ in 0..num_edges {
+            let a = rng.gen_range(0..6usize);
+            let b = rng.gen_range(0..6usize);
+            if a != b {
+                valid.push((a, b, rng.gen_range(0.0..1.0)));
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
         let mut forward = StateVector::plus_state(6);
         let mut reversed = StateVector::plus_state(6);
         for &(a, b, theta) in &valid {
@@ -134,38 +232,151 @@ proptest! {
         for &(a, b, theta) in valid.iter().rev() {
             reversed.apply_two(a, b, &gates::zz_interaction(theta));
         }
-        prop_assert!((forward.norm_sqr() - 1.0).abs() < 1e-9);
+        assert!((forward.norm_sqr() - 1.0).abs() < 1e-9);
         for (x, y) in forward.amplitudes().iter().zip(reversed.amplitudes()) {
-            prop_assert!(x.approx_eq(*y, 1e-9));
+            assert!(x.approx_eq(*y, 1e-9));
         }
-    }
+    });
+}
 
-    /// Hardware metrics are monotone: adding a gate never decreases counts.
-    #[test]
-    fn metrics_are_monotone_under_gate_addition(circuit in arbitrary_circuit(8)) {
-        use twoqan_repro::twoqan_circuit::{HardwareMetrics, ScheduledCircuit};
+/// Hardware metrics are monotone: adding a gate never decreases counts.
+#[test]
+fn metrics_are_monotone_under_gate_addition() {
+    use twoqan_repro::twoqan_circuit::{HardwareMetrics, ScheduledCircuit};
+    for_random_cases(24, 107, |rng| {
+        let circuit = arbitrary_circuit(rng.gen_range(4..9usize), rng);
         let gates_vec: Vec<Gate> = circuit.iter().copied().collect();
         let full = HardwareMetrics::of(
             &ScheduledCircuit::asap_from_gates(circuit.num_qubits(), &gates_vec),
             TwoQubitBasisCost::Cnot,
         );
         let truncated = HardwareMetrics::of(
-            &ScheduledCircuit::asap_from_gates(circuit.num_qubits(), &gates_vec[..gates_vec.len() - 1]),
+            &ScheduledCircuit::asap_from_gates(
+                circuit.num_qubits(),
+                &gates_vec[..gates_vec.len() - 1],
+            ),
             TwoQubitBasisCost::Cnot,
         );
-        prop_assert!(full.hardware_two_qubit_count >= truncated.hardware_two_qubit_count);
-        prop_assert!(full.hardware_two_qubit_depth >= truncated.hardware_two_qubit_depth);
-    }
+        assert!(full.hardware_two_qubit_count >= truncated.hardware_two_qubit_count);
+        assert!(full.hardware_two_qubit_depth >= truncated.hardware_two_qubit_depth);
+    });
+}
 
-    /// `Matrix4` products of unitaries stay unitary and the Frobenius
-    /// distance to the identity is zero only for the identity itself.
-    #[test]
-    fn unitary_products_stay_unitary(a in 0.0..1.5f64, b in 0.0..1.5f64, t in -3.0..3.0f64) {
+/// `Matrix4` products of unitaries stay unitary and the Frobenius
+/// distance to the identity is zero only for the identity itself.
+#[test]
+fn unitary_products_stay_unitary() {
+    for_random_cases(24, 108, |rng| {
+        let (a, b) = (rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5));
+        let t = rng.gen_range(-3.0..3.0);
         let u = gates::canonical(a, b, 0.3)
             .mul(&gates::embed_single(&gates::rz(t), 1))
             .mul(&gates::iswap());
-        prop_assert!(u.is_unitary(1e-9));
+        assert!(u.is_unitary(1e-9));
         let d = u.frobenius_distance(&Matrix4::identity());
-        prop_assert!(d >= 0.0);
-    }
+        assert!(d >= 0.0);
+    });
+}
+
+/// The incrementally maintained Tabu delta table stays consistent with
+/// `QapProblem::cost` over random instances and random accepted-swap
+/// sequences: every cached pair delta equals the cost difference of
+/// actually performing that exchange.
+#[test]
+fn delta_table_stays_consistent_with_cost() {
+    for_random_cases(16, 109, |rng| {
+        let p = arbitrary_qap(rng);
+        let n = p.num_facilities();
+        let mut assignment = p.random_assignment(rng);
+        let mut tracked_cost = p.cost(&assignment);
+        let mut table = DeltaTable::new(&p, &assignment);
+        for _ in 0..12 {
+            // Accept a random swap, as the Tabu loop would.
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            if u == v {
+                v = (v + 1) % n;
+            }
+            let (u, v) = (u.min(v), u.max(v));
+            let delta = table.delta(u, v);
+            assignment.swap(u, v);
+            tracked_cost += delta;
+            table.apply_swap(&p, &assignment, u, v);
+            // The incrementally tracked cost matches a full recomputation…
+            assert!(
+                (tracked_cost - p.cost(&assignment)).abs() < 1e-9,
+                "tracked cost {tracked_cost} vs recomputed {}",
+                p.cost(&assignment)
+            );
+            // …and every cached delta matches the cost difference of
+            // performing that exchange on a scratch copy.
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if !p.is_active(i) && !p.is_active(j) {
+                        continue;
+                    }
+                    let mut swapped = assignment.clone();
+                    swapped.swap(i, j);
+                    let expected = p.cost(&swapped) - p.cost(&assignment);
+                    assert!(
+                        (table.delta(i, j) - expected).abs() < 1e-9,
+                        "pair ({i},{j}): cached {} vs expected {expected}",
+                        table.delta(i, j)
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Parallel and serial multi-start runs of both QAP solvers return
+/// bit-identical results for a fixed seed.
+#[test]
+fn solver_restarts_are_deterministic_across_thread_modes() {
+    for_random_cases(8, 110, |rng| {
+        let p = arbitrary_qap(rng);
+        let seed = rng.gen::<u64>();
+        let tabu = TabuConfig {
+            restarts: 4,
+            ..TabuConfig::default()
+        };
+        let serial = tabu_search(
+            &p,
+            &TabuConfig {
+                parallel: false,
+                ..tabu.clone()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let parallel = tabu_search(
+            &p,
+            &TabuConfig {
+                parallel: true,
+                ..tabu
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        assert_eq!(serial, parallel, "tabu diverged for seed {seed}");
+        let sa = AnnealingConfig {
+            restarts: 3,
+            ..AnnealingConfig::default()
+        };
+        let serial = simulated_annealing(
+            &p,
+            &AnnealingConfig {
+                parallel: false,
+                ..sa.clone()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let parallel = simulated_annealing(
+            &p,
+            &AnnealingConfig {
+                parallel: true,
+                ..sa
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        assert_eq!(serial, parallel, "annealing diverged for seed {seed}");
+    });
 }
