@@ -189,6 +189,74 @@ impl GateKind {
     }
 }
 
+/// The structural class of a single-qubit unitary, used by simulator
+/// backends to pick a specialized kernel.  Classification is by gate *kind*
+/// (exact structural zeros), never by numeric tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingleQubitClass {
+    /// Diagonal in the computational basis (pure phases): `Rz`, `Z`.
+    Diagonal,
+    /// Anti-diagonal (a bit flip with phases): `X`, `Y`.
+    AntiDiagonal,
+    /// Anything else (a dense 2×2 matrix is required).
+    General,
+}
+
+/// The structural class of a two-qubit unitary, used by simulator backends
+/// to pick a specialized kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoQubitClass {
+    /// Diagonal in the computational basis (pure phases): `CZ` and the
+    /// Ising exponentials `Can(0, 0, c) = exp(ic·ZZ)` that make up QAOA
+    /// cost layers.
+    Diagonal,
+    /// A SWAP composed with a diagonal: plain SWAPs, iSWAP, and the
+    /// dressed SWAPs `SWAP · Can(0, 0, c)` produced by the
+    /// unitary-unifying router.
+    SwapDiagonal,
+    /// Anything else (a dense 4×4 matrix is required).
+    General,
+}
+
+impl GateKind {
+    /// The kernel class of a single-qubit kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a two-qubit kind.
+    pub fn single_qubit_class(&self) -> SingleQubitClass {
+        assert_eq!(
+            self.arity(),
+            1,
+            "{} is not a single-qubit gate",
+            self.name()
+        );
+        match self {
+            GateKind::Rz(_) | GateKind::Z => SingleQubitClass::Diagonal,
+            GateKind::X | GateKind::Y => SingleQubitClass::AntiDiagonal,
+            _ => SingleQubitClass::General,
+        }
+    }
+
+    /// The kernel class of a two-qubit kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a single-qubit kind.
+    pub fn two_qubit_class(&self) -> TwoQubitClass {
+        assert_eq!(self.arity(), 2, "{} is not a two-qubit gate", self.name());
+        match *self {
+            GateKind::Cz => TwoQubitClass::Diagonal,
+            GateKind::Canonical { xx, yy, .. } if xx == 0.0 && yy == 0.0 => TwoQubitClass::Diagonal,
+            GateKind::Swap | GateKind::ISwap => TwoQubitClass::SwapDiagonal,
+            GateKind::DressedSwap { xx, yy, .. } if xx == 0.0 && yy == 0.0 => {
+                TwoQubitClass::SwapDiagonal
+            }
+            _ => TwoQubitClass::General,
+        }
+    }
+}
+
 /// A gate instance: a [`GateKind`] applied to specific qubits.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Gate {
@@ -433,6 +501,78 @@ mod tests {
             GateKind::Cnot.hardware_two_qubit_cost(TwoQubitBasisCost::Cnot),
             1
         );
+    }
+
+    #[test]
+    fn kernel_classes_match_matrix_forms() {
+        use twoqan_math::Complex;
+        // Single-qubit: the class must agree with the exact matrix form.
+        for kind in [
+            GateKind::Rx(0.3),
+            GateKind::Ry(-0.4),
+            GateKind::Rz(1.0),
+            GateKind::H,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::U3(0.2, 0.3, 0.4),
+        ] {
+            let m = kind.single_qubit_matrix();
+            match kind.single_qubit_class() {
+                SingleQubitClass::Diagonal => assert!(m.as_diagonal().is_some(), "{kind:?}"),
+                SingleQubitClass::AntiDiagonal => {
+                    assert!(m.as_anti_diagonal().is_some(), "{kind:?}")
+                }
+                SingleQubitClass::General => {}
+            }
+        }
+        assert_eq!(
+            GateKind::Rz(0.4).single_qubit_class(),
+            SingleQubitClass::Diagonal
+        );
+        assert_eq!(
+            GateKind::X.single_qubit_class(),
+            SingleQubitClass::AntiDiagonal
+        );
+        assert_eq!(GateKind::H.single_qubit_class(), SingleQubitClass::General);
+        // Two-qubit: ditto, and the QAOA forms get the specialized classes.
+        let rzz = GateKind::Canonical {
+            xx: 0.0,
+            yy: 0.0,
+            zz: 0.7,
+        };
+        assert_eq!(rzz.two_qubit_class(), TwoQubitClass::Diagonal);
+        let d = rzz.two_qubit_matrix().as_diagonal().unwrap();
+        assert!(d[0].approx_eq(Complex::cis(0.7), 1e-12));
+        assert_eq!(GateKind::Cz.two_qubit_class(), TwoQubitClass::Diagonal);
+        assert_eq!(
+            GateKind::Swap.two_qubit_class(),
+            TwoQubitClass::SwapDiagonal
+        );
+        assert_eq!(
+            GateKind::ISwap.two_qubit_class(),
+            TwoQubitClass::SwapDiagonal
+        );
+        let dressed = GateKind::DressedSwap {
+            xx: 0.0,
+            yy: 0.0,
+            zz: 0.4,
+        };
+        assert_eq!(dressed.two_qubit_class(), TwoQubitClass::SwapDiagonal);
+        assert!(dressed.two_qubit_matrix().as_swap_diagonal().is_some());
+        assert_eq!(GateKind::Cnot.two_qubit_class(), TwoQubitClass::General);
+        let heis = GateKind::Canonical {
+            xx: 0.3,
+            yy: 0.2,
+            zz: 0.1,
+        };
+        assert_eq!(heis.two_qubit_class(), TwoQubitClass::General);
+        let dressed_heis = GateKind::DressedSwap {
+            xx: 0.3,
+            yy: 0.2,
+            zz: 0.1,
+        };
+        assert_eq!(dressed_heis.two_qubit_class(), TwoQubitClass::General);
     }
 
     #[test]

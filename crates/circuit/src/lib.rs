@@ -24,12 +24,14 @@
 pub mod circuit;
 pub mod dag;
 pub mod gate;
+pub mod matrix_cache;
 pub mod metrics;
 pub mod moment;
 
 pub use circuit::Circuit;
 pub use dag::DependencyDag;
-pub use gate::{Gate, GateKind};
+pub use gate::{Gate, GateKind, SingleQubitClass, TwoQubitClass};
+pub use matrix_cache::MatrixCache;
 pub use metrics::HardwareMetrics;
 pub use moment::{Moment, ScheduledCircuit};
 

@@ -143,21 +143,24 @@ fn alap_cycles(routed: &RoutedCircuit, device: &twoqan_device::Device) -> Vec<Ve
 
     let mut current_map: QubitMap = routed.final_map().clone();
     let mut cycles: Vec<Vec<Gate>> = Vec::new();
+    // Gates placed in the cycle currently under construction.  Together with
+    // the still-pending gates these are exactly the gates that were pending
+    // when the cycle began, so SWAP dependency checks scan the two worklists
+    // instead of cloning a per-cycle snapshot (the former made the pass
+    // O(stages²) in allocations on swap-heavy circuits).
+    let mut placed_this_cycle: Vec<(usize, Gate)> = Vec::new();
 
     while !pending_gates.is_empty() || !pending_swaps.is_empty() {
         let mut cycle: Vec<Gate> = Vec::new();
         let mut busy = vec![false; routed.num_physical];
         let mut swaps_to_roll_back: Vec<(usize, usize)> = Vec::new();
-
-        // Snapshot of the gates still pending before this cycle (SWAP
-        // dependencies must be satisfied by *earlier* cycles).
-        let gate_snapshot = pending_gates.clone();
+        placed_this_cycle.clear();
 
         // Circuit gates: schedulable wherever their logical qubits are
         // adjacent under the current map and the physical qubits are free.
         let mut i = 0;
         while i < pending_gates.len() {
-            let (_, gate) = pending_gates[i];
+            let (stage, gate) = pending_gates[i];
             let (pa, pb) = (
                 current_map.physical(gate.qubit0()),
                 current_map.physical(gate.qubit1()),
@@ -167,6 +170,7 @@ fn alap_cycles(routed: &RoutedCircuit, device: &twoqan_device::Device) -> Vec<Ve
                 busy[pa] = true;
                 busy[pb] = true;
                 cycle.push(Gate::two(gate.kind, pa, pb));
+                placed_this_cycle.push((stage, gate));
                 pending_gates.swap_remove(i);
             } else {
                 i += 1;
@@ -176,11 +180,11 @@ fn alap_cycles(routed: &RoutedCircuit, device: &twoqan_device::Device) -> Vec<Ve
         // SWAPs: processed in decreasing stage order; strict reverse stage
         // order is enforced among overlapping SWAPs, and a SWAP waits until
         // every pending gate that depends on it has been scheduled in an
-        // earlier cycle.
+        // *earlier* cycle (gates placed this cycle still count as blocking).
         let mut s = pending_swaps.len();
         while s > 0 {
             s -= 1;
-            let (stage, swap) = pending_swaps[s].clone();
+            let (stage, ref swap) = pending_swaps[s];
             // All later-stage SWAPs must already be gone (scheduled earlier
             // or in this cycle).
             let later_pending = pending_swaps.iter().any(|(other, _)| *other > stage);
@@ -193,21 +197,18 @@ fn alap_cycles(routed: &RoutedCircuit, device: &twoqan_device::Device) -> Vec<Ve
             }
             // Dependent circuit gates: gates from later stages acting on the
             // logical qubits this SWAP moves.
-            let depends_unscheduled = gate_snapshot.iter().any(|(gstage, g)| {
-                *gstage > stage
-                    && [swap.logical.0, swap.logical.1]
-                        .iter()
-                        .flatten()
-                        .any(|&l| g.acts_on(l))
-            });
-            if depends_unscheduled {
+            let moved = [swap.logical.0, swap.logical.1];
+            let blocks = |(gstage, g): &(usize, Gate)| {
+                *gstage > stage && moved.iter().flatten().any(|&l| g.acts_on(l))
+            };
+            if pending_gates.iter().any(blocks) || placed_this_cycle.iter().any(blocks) {
                 continue;
             }
             busy[pa] = true;
             busy[pb] = true;
+            let (_, swap) = pending_swaps.remove(s);
             cycle.push(swap.physical_gate());
             swaps_to_roll_back.push((pa, pb));
-            pending_swaps.remove(s);
         }
 
         if cycle.is_empty() {

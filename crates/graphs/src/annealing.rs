@@ -7,10 +7,15 @@
 //!
 //! Like the Tabu solver, annealing runs independent restart schedules on a
 //! thread pool with per-restart seeds pre-drawn from the caller's RNG, so
-//! results are bit-identical for a fixed seed regardless of thread count.
+//! results are bit-identical for a fixed seed regardless of thread count —
+//! and, once the chain has cooled enough that most proposals are rejected,
+//! evaluates moves through the same incrementally maintained
+//! [`DeltaTable`], so a proposal costs O(1) instead of the O(n) of
+//! recomputing `swap_delta` from scratch.
 
 use crate::parallel::run_indexed;
 use crate::qap::QapProblem;
+use crate::tabu::DeltaTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -98,8 +103,21 @@ pub fn annealing_schedule<R: Rng + ?Sized>(
         };
     }
 
+    // O(1) amortized move evaluation via the Tabu solver's DeltaTable.
+    // The table read is O(1) but every *accepted* move pays the O(n²)
+    // Taillard update, whereas recomputing `swap_delta` directly is O(n)
+    // per proposal with no update cost.  The table therefore only pays off
+    // once acceptance falls below ~1/n — which the cooling schedule
+    // guarantees eventually, but which is false by design in the hot
+    // phase.  Run table-free while the chain is hot and switch (once,
+    // deterministically) as soon as a sweep's acceptance rate drops under
+    // 1/n.
+    let mut deltas: Option<DeltaTable> = None;
+
     let mut temperature = config.initial_temperature.max(config.final_temperature);
     while temperature > config.final_temperature {
+        let mut accepted_this_sweep = 0usize;
+        let mut evaluated_this_sweep = 0usize;
         for _ in 0..config.moves_per_temperature {
             let i = rng.gen_range(0..n);
             let mut j = rng.gen_range(0..n);
@@ -110,12 +128,20 @@ pub fn annealing_schedule<R: Rng + ?Sized>(
                 // Dummy–dummy exchange: always a zero-cost no-op, skip it.
                 continue;
             }
-            let delta = problem.swap_delta(&current, i, j);
+            evaluated_this_sweep += 1;
+            let delta = match &deltas {
+                Some(table) => table.delta(i.min(j), i.max(j)),
+                None => problem.swap_delta(&current, i, j),
+            };
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
             if accept {
                 current.swap(i, j);
                 current_cost += delta;
+                if let Some(table) = &mut deltas {
+                    table.apply_swap(problem, &current, i, j);
+                }
                 accepted += 1;
+                accepted_this_sweep += 1;
                 if current_cost < best_cost - 1e-12 {
                     best_cost = current_cost;
                     best.copy_from_slice(&current);
@@ -125,6 +151,12 @@ pub fn annealing_schedule<R: Rng + ?Sized>(
         temperature *= config.cooling_rate;
         if best_cost <= 1e-12 {
             break;
+        }
+        // Acceptance is measured against *evaluated* proposals only —
+        // dummy–dummy skips never reach the accept test and would deflate
+        // the rate on heavily padded instances.
+        if deltas.is_none() && accepted_this_sweep * n < evaluated_this_sweep {
+            deltas = Some(DeltaTable::new(problem, &current));
         }
     }
 

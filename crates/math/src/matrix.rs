@@ -170,6 +170,56 @@ impl Matrix2 {
             tol,
         )
     }
+
+    /// If the matrix is diagonal (both off-diagonal entries exactly zero),
+    /// returns its diagonal `[d0, d1]`.  Exactness is deliberate: the gate
+    /// constructors produce exact zeros for the structured gates (`Rz`, `Z`,
+    /// phase gates), and the simulator kernels dispatch on this form.
+    pub fn as_diagonal(&self) -> Option<[Complex; 2]> {
+        let m = &self.data;
+        if m[0][1] == Complex::zero() && m[1][0] == Complex::zero() {
+            Some([m[0][0], m[1][1]])
+        } else {
+            None
+        }
+    }
+
+    /// If the matrix is anti-diagonal (both diagonal entries exactly zero),
+    /// returns `[m01, m10]` — the X/Y-like permutation-with-phase form
+    /// `|0⟩ → m10|1⟩`, `|1⟩ → m01|0⟩`.
+    pub fn as_anti_diagonal(&self) -> Option<[Complex; 2]> {
+        let m = &self.data;
+        if m[0][0] == Complex::zero() && m[1][1] == Complex::zero() {
+            Some([m[0][1], m[1][0]])
+        } else {
+            None
+        }
+    }
+
+    /// If every entry is exactly real, returns the real entries row-major —
+    /// the `Ry`/Hadamard form, whose application needs half the floating
+    /// point work of a dense complex 2×2.
+    pub fn as_real(&self) -> Option<[[f64; 2]; 2]> {
+        let m = &self.data;
+        if m.iter().flatten().all(|z| z.im == 0.0) {
+            Some([[m[0][0].re, m[0][1].re], [m[1][0].re, m[1][1].re]])
+        } else {
+            None
+        }
+    }
+
+    /// If the diagonal is exactly real and the off-diagonal exactly
+    /// imaginary — the `Rx` form `[[c, i·s01], [i·s10, c']]` — returns
+    /// `[c, s01, s10, c']` (imaginary parts for the off-diagonal).  Like
+    /// [`Self::as_real`], this halves the application arithmetic.
+    pub fn as_real_diag_imag_off(&self) -> Option<[f64; 4]> {
+        let m = &self.data;
+        if m[0][0].im == 0.0 && m[1][1].im == 0.0 && m[0][1].re == 0.0 && m[1][0].re == 0.0 {
+            Some([m[0][0].re, m[0][1].im, m[1][0].im, m[1][1].re])
+        } else {
+            None
+        }
+    }
 }
 
 impl Matrix4 {
@@ -353,6 +403,42 @@ impl Matrix4 {
         acc.sqrt()
     }
 
+    /// If the matrix is diagonal (every off-diagonal entry exactly zero),
+    /// returns its diagonal `[d00, d01, d10, d11]` in basis order.  The
+    /// structured two-qubit gates (`CZ`, `CPhase`, `exp(iθZZ)` and every
+    /// `Can(0, 0, c)`) are built with exact zeros off the diagonal, so the
+    /// simulator kernels can dispatch on this form without a tolerance.
+    pub fn as_diagonal(&self) -> Option<[Complex; 4]> {
+        let m = &self.data;
+        for (i, row) in m.iter().enumerate() {
+            for (j, &e) in row.iter().enumerate() {
+                if i != j && e != Complex::zero() {
+                    return None;
+                }
+            }
+        }
+        Some([m[0][0], m[1][1], m[2][2], m[3][3]])
+    }
+
+    /// If the matrix is a SWAP composed with a diagonal — the only nonzero
+    /// entries are `m[0][0]`, `m[1][2]`, `m[2][1]`, `m[3][3]` — returns
+    /// `[m00, m12, m21, m33]`.  This is the form of plain SWAPs and of the
+    /// dressed SWAPs `SWAP · Can(0, 0, c)` that dominate routed QAOA
+    /// circuits: `|00⟩ → m00|00⟩`, `|10⟩ → m12|01⟩`, `|01⟩ → m21|10⟩`,
+    /// `|11⟩ → m33|11⟩`.
+    pub fn as_swap_diagonal(&self) -> Option<[Complex; 4]> {
+        let m = &self.data;
+        let keep = [(0usize, 0usize), (1, 2), (2, 1), (3, 3)];
+        for (i, row) in m.iter().enumerate() {
+            for (j, &e) in row.iter().enumerate() {
+                if !keep.contains(&(i, j)) && e != Complex::zero() {
+                    return None;
+                }
+            }
+        }
+        Some([m[0][0], m[1][2], m[2][1], m[3][3]])
+    }
+
     /// Conjugates `self` by the permutation that exchanges the two qubits,
     /// i.e. returns `SWAP · self · SWAP`.  Useful for reasoning about gates
     /// whose qubit arguments are given in either order.
@@ -505,6 +591,60 @@ mod tests {
         let a = gates::iswap();
         assert!(a.frobenius_distance(&a) < 1e-12);
         assert!(a.frobenius_distance(&gates::swap()) > 0.5);
+    }
+
+    #[test]
+    fn diagonal_and_anti_diagonal_forms_are_detected() {
+        let d = gates::rz(0.7).as_diagonal().expect("Rz is diagonal");
+        assert!(d[0].approx_eq(Complex::cis(-0.35), 1e-12));
+        assert!(d[1].approx_eq(Complex::cis(0.35), 1e-12));
+        assert!(gates::pauli_z().as_diagonal().is_some());
+        assert!(gates::hadamard().as_diagonal().is_none());
+        assert!(gates::rx(0.3).as_diagonal().is_none());
+
+        let a = gates::pauli_x()
+            .as_anti_diagonal()
+            .expect("X is anti-diagonal");
+        assert!(a[0].approx_eq(Complex::one(), 1e-12));
+        assert!(a[1].approx_eq(Complex::one(), 1e-12));
+        let y = gates::pauli_y().as_anti_diagonal().expect("Y");
+        assert!(y[0].approx_eq(c64(0.0, -1.0), 1e-12));
+        assert!(y[1].approx_eq(c64(0.0, 1.0), 1e-12));
+        assert!(gates::hadamard().as_anti_diagonal().is_none());
+        assert!(gates::rz(0.7).as_anti_diagonal().is_none());
+    }
+
+    #[test]
+    fn two_qubit_diagonal_and_swap_diagonal_forms_are_detected() {
+        let theta = 0.61;
+        let d = gates::zz_interaction(theta)
+            .as_diagonal()
+            .expect("exp(iθZZ) is diagonal");
+        assert!(d[0].approx_eq(Complex::cis(theta), 1e-12));
+        assert!(d[1].approx_eq(Complex::cis(-theta), 1e-12));
+        assert!(gates::cz().as_diagonal().is_some());
+        assert!(gates::cphase(0.4).as_diagonal().is_some());
+        assert!(gates::cnot().as_diagonal().is_none());
+        assert!(gates::swap().as_diagonal().is_none());
+
+        let s = gates::swap().as_swap_diagonal().expect("SWAP");
+        for e in s {
+            assert!(e.approx_eq(Complex::one(), 1e-12));
+        }
+        let ds = gates::dressed_swap(0.0, 0.0, theta)
+            .as_swap_diagonal()
+            .expect("dressed SWAP of a ZZ term");
+        assert!(ds[0].approx_eq(Complex::cis(theta), 1e-12));
+        assert!(ds[1].approx_eq(Complex::cis(-theta), 1e-12));
+        assert!(ds[2].approx_eq(Complex::cis(-theta), 1e-12));
+        assert!(ds[3].approx_eq(Complex::cis(theta), 1e-12));
+        assert!(gates::iswap().as_swap_diagonal().is_some());
+        assert!(gates::cnot().as_swap_diagonal().is_none());
+        assert!(gates::cz().as_swap_diagonal().is_none());
+        // A generic canonical gate is neither.
+        let c = gates::canonical(0.3, 0.2, 0.1);
+        assert!(c.as_diagonal().is_none());
+        assert!(c.as_swap_diagonal().is_none());
     }
 
     #[test]

@@ -12,15 +12,24 @@
 //! relationship between compilation quality (fewer native two-qubit gates,
 //! shallower circuits) and application performance — which is exactly what a
 //! calibrated depolarizing model yields.
+//!
+//! Gate application runs on the kernelized engine of [`kernels`]:
+//! stride-enumeration kernels with specialized fast paths for the
+//! diagonal / swap-like gate classes that dominate 2QAN workloads, per-kind
+//! matrix caching, and deterministic amplitude-chunk / shot-level
+//! multi-threading (bit-identical results for any thread count).  See
+//! `BENCHMARKS.md` § Simulation for the perf trajectory.
 
 #![deny(missing_docs)]
 
+pub mod kernels;
 pub mod noise;
 pub mod qaoa_eval;
 pub mod statevector;
 pub mod trajectories;
 
+pub use kernels::{CompiledCircuit, CompiledOp, SingleKernel, TwoKernel};
 pub use noise::NoiseModel;
 pub use qaoa_eval::{evaluate_qaoa, optimize_angles, QaoaEvaluation};
 pub use statevector::StateVector;
-pub use trajectories::TrajectorySimulator;
+pub use trajectories::{IsingCostTable, SimEngine, TrajectorySimulator};

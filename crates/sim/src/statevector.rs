@@ -4,7 +4,15 @@
 //! least-significant bit).  Two-qubit gate matrices follow the convention of
 //! `twoqan-math`: the *first* gate operand is the most-significant qubit of
 //! the 4×4 matrix.
+//!
+//! Gate application goes through the stride-enumeration kernels of
+//! [`crate::kernels`]; the original branch-per-index loops are kept as
+//! `*_naive` reference implementations for the correctness property tests
+//! and the before/after entries of `BENCH_sim.json`.
 
+use crate::kernels::{
+    apply_single_kernel, apply_two_kernel, auto_threads, CompiledCircuit, SingleKernel, TwoKernel,
+};
 use twoqan_circuit::{Circuit, Gate, ScheduledCircuit};
 use twoqan_math::{Complex, Matrix2, Matrix4};
 
@@ -53,6 +61,13 @@ impl StateVector {
         &self.amplitudes
     }
 
+    /// Mutable amplitude access for external kernel drivers (the benches
+    /// drive [`crate::kernels`] directly).  Callers are responsible for
+    /// keeping the state normalized.
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amplitudes
+    }
+
     /// The squared norm (should stay 1 under unitary evolution).
     pub fn norm_sqr(&self) -> f64 {
         self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
@@ -63,12 +78,49 @@ impl StateVector {
         self.amplitudes[basis_state].norm_sqr()
     }
 
-    /// Applies a single-qubit unitary to `qubit`.
+    /// Applies a single-qubit unitary to `qubit` through the classified
+    /// kernels.
     ///
     /// # Panics
     ///
     /// Panics if the qubit index is out of range.
     pub fn apply_single(&mut self, qubit: usize, u: &Matrix2) {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        let threads = auto_threads(self.amplitudes.len());
+        apply_single_kernel(
+            &mut self.amplitudes,
+            qubit,
+            &SingleKernel::from_matrix(u),
+            threads,
+        );
+    }
+
+    /// Applies a two-qubit unitary through the classified kernels;
+    /// `qubit_a` is the most-significant qubit of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit indices coincide or are out of range.
+    pub fn apply_two(&mut self, qubit_a: usize, qubit_b: usize, u: &Matrix4) {
+        assert!(
+            qubit_a < self.num_qubits && qubit_b < self.num_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(qubit_a, qubit_b, "two-qubit gate requires distinct qubits");
+        let threads = auto_threads(self.amplitudes.len());
+        apply_two_kernel(
+            &mut self.amplitudes,
+            qubit_a,
+            qubit_b,
+            &TwoKernel::from_matrix(u),
+            threads,
+        );
+    }
+
+    /// Reference implementation of [`Self::apply_single`]: the original
+    /// branch-per-index loop over all `2^n` indices.  Kept for the kernel
+    /// correctness property tests and the naive-engine benchmarks.
+    pub fn apply_single_naive(&mut self, qubit: usize, u: &Matrix2) {
         assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
         let bit = 1usize << qubit;
         for idx in 0..self.amplitudes.len() {
@@ -82,13 +134,9 @@ impl StateVector {
         }
     }
 
-    /// Applies a two-qubit unitary; `qubit_a` is the most-significant qubit
-    /// of the matrix.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the qubit indices coincide or are out of range.
-    pub fn apply_two(&mut self, qubit_a: usize, qubit_b: usize, u: &Matrix4) {
+    /// Reference implementation of [`Self::apply_two`]; see
+    /// [`Self::apply_single_naive`].
+    pub fn apply_two_naive(&mut self, qubit_a: usize, qubit_b: usize, u: &Matrix4) {
         assert!(
             qubit_a < self.num_qubits && qubit_b < self.num_qubits,
             "qubit out of range"
@@ -126,18 +174,54 @@ impl StateVector {
         }
     }
 
-    /// Applies every gate of a circuit in order.
-    pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        for gate in circuit.iter() {
-            self.apply_gate(gate);
+    /// Applies a circuit-IR gate through the naive reference loops,
+    /// rebuilding the gate matrix from scratch (the pre-kernel behaviour).
+    pub fn apply_gate_naive(&mut self, gate: &Gate) {
+        if gate.is_two_qubit() {
+            self.apply_two_naive(gate.qubit0(), gate.qubit1(), &gate.kind.two_qubit_matrix());
+        } else {
+            self.apply_single_naive(gate.qubit0(), &gate.kind.single_qubit_matrix());
         }
     }
 
-    /// Applies every gate of a scheduled circuit in moment order.
+    /// Applies every gate of a circuit in order (classifying and caching
+    /// each distinct gate kind once).  The circuit may act on a register
+    /// smaller than this state; every gate qubit must be in range.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        self.apply_compiled(&CompiledCircuit::from_gates(
+            self.num_qubits,
+            circuit.iter(),
+        ));
+    }
+
+    /// Applies every gate of a scheduled circuit in moment order; like
+    /// [`Self::apply_circuit`], smaller registers embed.
     pub fn apply_scheduled(&mut self, schedule: &ScheduledCircuit) {
-        for gate in schedule.iter_gates() {
-            self.apply_gate(gate);
-        }
+        self.apply_compiled(&CompiledCircuit::from_gates(
+            self.num_qubits,
+            schedule.iter_gates(),
+        ));
+    }
+
+    /// Applies a pre-classified circuit with the automatic thread policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled qubit count does not match this state.
+    pub fn apply_compiled(&mut self, compiled: &CompiledCircuit) {
+        let threads = auto_threads(self.amplitudes.len());
+        self.apply_compiled_with_threads(compiled, threads);
+    }
+
+    /// Applies a pre-classified circuit with an explicit per-kernel thread
+    /// count; results are bit-identical for every `threads` value.
+    pub fn apply_compiled_with_threads(&mut self, compiled: &CompiledCircuit, threads: usize) {
+        assert_eq!(
+            compiled.num_qubits(),
+            self.num_qubits,
+            "compiled circuit qubit count does not match the state"
+        );
+        compiled.apply(&mut self.amplitudes, threads);
     }
 
     /// Expectation value `⟨Z_u Z_v⟩`.

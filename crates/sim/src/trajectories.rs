@@ -8,14 +8,94 @@
 //! flip each measured expectation contribution with the calibrated
 //! probability.  Averaging over shots yields a noisy `⟨C⟩` estimate that the
 //! tests compare against the analytic model.
+//!
+//! # Engines and parallelism
+//!
+//! The default [`SimEngine::Kernelized`] engine classifies the circuit once
+//! ([`CompiledCircuit`]), precomputes the per-gate error probabilities and
+//! the per-basis-state Ising cost table ([`IsingCostTable`]), and replays
+//! shots on a thread pool.  Every shot derives its RNG from a seed pre-drawn
+//! from the sampler's seed and shot values are reduced in shot order, so the
+//! estimate is **bit-identical** for a fixed seed regardless of thread
+//! count.  [`SimEngine::Naive`] preserves the original per-index,
+//! matrix-rebuilding serial implementation as the before/after reference of
+//! `BENCH_sim.json`.
 
+use crate::kernels::{CompiledCircuit, CompiledOp, SingleKernel};
 use crate::noise::NoiseModel;
 use crate::statevector::StateVector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use twoqan_circuit::ScheduledCircuit;
 use twoqan_device::TwoQubitBasis;
+use twoqan_graphs::parallel::run_indexed;
 use twoqan_math::pauli::Pauli;
+
+/// Which gate-application engine a [`TrajectorySimulator`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Stride-enumeration kernels, per-circuit matrix caching, precomputed
+    /// cost table, optional shot-level parallelism.
+    #[default]
+    Kernelized,
+    /// The pre-kernel reference: branch-per-index loops, matrices rebuilt
+    /// per application, shots strictly serial.
+    Naive,
+}
+
+/// The Ising cost `Σ_{(u,v)} ±1` of every computational basis state,
+/// precomputed once so a shot's read-out reduces to a single weighted pass
+/// over the probabilities instead of one full pass per edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsingCostTable {
+    costs: Vec<f64>,
+}
+
+impl IsingCostTable {
+    /// Builds the table for an `n`-qubit register and an edge list
+    /// (`O(edges · 2^n)` once, amortized over all shots).
+    pub fn new(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let dim = 1usize << num_qubits;
+        let mut costs = vec![0.0f64; dim];
+        for &(u, v) in edges {
+            let mask = (1usize << u) | (1usize << v);
+            for (idx, c) in costs.iter_mut().enumerate() {
+                // Parity of the two measured bits: equal bits contribute +1.
+                *c += if (idx & mask).count_ones().is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
+            }
+        }
+        Self { costs }
+    }
+
+    /// The cost of one basis state.
+    pub fn cost(&self, basis_state: usize) -> f64 {
+        self.costs[basis_state]
+    }
+
+    /// The expectation `Σ_idx |ψ_idx|² · cost(idx)` — equal to
+    /// `Σ_edges ⟨Z_u Z_v⟩` up to floating-point summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's dimension differs from the table's.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        assert_eq!(
+            state.amplitudes().len(),
+            self.costs.len(),
+            "cost table and state dimensions differ"
+        );
+        state
+            .amplitudes()
+            .iter()
+            .zip(&self.costs)
+            .map(|(a, c)| a.norm_sqr() * c)
+            .sum()
+    }
+}
 
 /// A Monte-Carlo Pauli-error simulator for compiled circuits.
 #[derive(Debug, Clone)]
@@ -24,17 +104,34 @@ pub struct TrajectorySimulator {
     basis: TwoQubitBasis,
     shots: usize,
     seed: u64,
+    parallel: bool,
+    engine: SimEngine,
 }
 
 impl TrajectorySimulator {
-    /// Creates a trajectory simulator.
+    /// Creates a trajectory simulator (kernelized engine, parallel shots).
     pub fn new(noise: NoiseModel, basis: TwoQubitBasis, shots: usize, seed: u64) -> Self {
         Self {
             noise,
             basis,
             shots,
             seed,
+            parallel: true,
+            engine: SimEngine::Kernelized,
         }
+    }
+
+    /// Selects serial or thread-pool shot execution (the estimate is
+    /// bit-identical either way).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Selects the gate-application engine.
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Number of shots per estimate.
@@ -51,6 +148,81 @@ impl TrajectorySimulator {
         schedule: &ScheduledCircuit,
         edges: &[(usize, usize)],
     ) -> f64 {
+        match self.engine {
+            SimEngine::Kernelized => self.kernelized_expectation(schedule, edges),
+            SimEngine::Naive => self.naive_expectation(schedule, edges),
+        }
+    }
+
+    /// The kernelized engine: classify once, replay shots (optionally in
+    /// parallel) from pre-drawn per-shot seeds.
+    fn kernelized_expectation(&self, schedule: &ScheduledCircuit, edges: &[(usize, usize)]) -> f64 {
+        let n = schedule.num_qubits();
+        let error_per_native_gate = self.noise.two_qubit_error();
+        let readout = self.noise.readout_error();
+        // Read-out errors flip each of the two measured qubits
+        // independently; a single flip inverts the parity.  The factor is
+        // edge-independent, so it scales the whole shot value.
+        let readout_factor = 1.0 - 2.0 * (readout * (1.0 - readout) * 2.0);
+
+        // One-time per-circuit work, shared by every shot.
+        let compiled = CompiledCircuit::from_scheduled(schedule);
+        let cost_model = self.basis.cost_model();
+        let error_probabilities: Vec<Option<f64>> = schedule
+            .iter_gates()
+            .map(|gate| {
+                gate.is_two_qubit().then(|| {
+                    let native = gate.kind.hardware_two_qubit_cost(cost_model);
+                    1.0 - (1.0 - error_per_native_gate).powi(native as i32)
+                })
+            })
+            .collect();
+        let pauli_kernels: [SingleKernel; 4] = [
+            SingleKernel::from_matrix(&Pauli::I.matrix()),
+            SingleKernel::from_matrix(&Pauli::X.matrix()),
+            SingleKernel::from_matrix(&Pauli::Y.matrix()),
+            SingleKernel::from_matrix(&Pauli::Z.matrix()),
+        ];
+        let table = IsingCostTable::new(n, edges);
+
+        // Per-shot seeds pre-drawn from the sampler seed, so the estimate
+        // does not depend on execution order or thread count.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let shot_seeds: Vec<u64> = (0..self.shots).map(|_| rng.gen::<u64>()).collect();
+
+        let shot_values = run_indexed(self.shots, self.parallel, |k| {
+            let mut shot_rng = StdRng::seed_from_u64(shot_seeds[k]);
+            let mut state = StateVector::plus_state(n);
+            for (op, error_probability) in compiled.ops().iter().zip(&error_probabilities) {
+                // Shots already saturate the thread pool; kernels stay
+                // serial inside a shot.
+                op.apply(state.amplitudes_mut(), 1);
+                if let (
+                    CompiledOp::Two {
+                        qubit_a, qubit_b, ..
+                    },
+                    Some(p),
+                ) = (op, error_probability)
+                {
+                    if shot_rng.gen::<f64>() < *p {
+                        inject_random_pauli(
+                            &mut state,
+                            *qubit_a,
+                            *qubit_b,
+                            &pauli_kernels,
+                            &mut shot_rng,
+                        );
+                    }
+                }
+            }
+            table.expectation(&state) * readout_factor
+        });
+        shot_values.iter().sum::<f64>() / self.shots as f64
+    }
+
+    /// The original pre-kernel implementation, kept as the perf-trajectory
+    /// reference ("before" entries in `BENCH_sim.json`).
+    fn naive_expectation(&self, schedule: &ScheduledCircuit, edges: &[(usize, usize)]) -> f64 {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = schedule.num_qubits();
         let error_per_native_gate = self.noise.two_qubit_error();
@@ -59,12 +231,17 @@ impl TrajectorySimulator {
         for _ in 0..self.shots {
             let mut state = StateVector::plus_state(n);
             for gate in schedule.iter_gates() {
-                state.apply_gate(gate);
+                state.apply_gate_naive(gate);
                 if gate.is_two_qubit() {
                     let native = gate.kind.hardware_two_qubit_cost(self.basis.cost_model());
                     let error_probability = 1.0 - (1.0 - error_per_native_gate).powi(native as i32);
                     if rng.gen::<f64>() < error_probability {
-                        inject_random_pauli(&mut state, gate.qubit0(), gate.qubit1(), &mut rng);
+                        inject_random_pauli_naive(
+                            &mut state,
+                            gate.qubit0(),
+                            gate.qubit1(),
+                            &mut rng,
+                        );
                     }
                 }
             }
@@ -83,8 +260,39 @@ impl TrajectorySimulator {
     }
 }
 
-/// Applies a uniformly random non-identity two-qubit Pauli error.
-fn inject_random_pauli<R: Rng + ?Sized>(state: &mut StateVector, a: usize, b: usize, rng: &mut R) {
+/// Applies a uniformly random non-identity two-qubit Pauli error through the
+/// pre-classified Pauli kernels.
+fn inject_random_pauli<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    a: usize,
+    b: usize,
+    pauli_kernels: &[SingleKernel; 4],
+    rng: &mut R,
+) {
+    loop {
+        let pa = rng.gen_range(0..4usize);
+        let pb = rng.gen_range(0..4usize);
+        if pa == 0 && pb == 0 {
+            continue;
+        }
+        if pa != 0 {
+            crate::kernels::apply_single_kernel(state.amplitudes_mut(), a, &pauli_kernels[pa], 1);
+        }
+        if pb != 0 {
+            crate::kernels::apply_single_kernel(state.amplitudes_mut(), b, &pauli_kernels[pb], 1);
+        }
+        return;
+    }
+}
+
+/// Applies a uniformly random non-identity two-qubit Pauli error through the
+/// naive reference loops.
+fn inject_random_pauli_naive<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    a: usize,
+    b: usize,
+    rng: &mut R,
+) {
     loop {
         let pa = Pauli::ALL[rng.gen_range(0..4)];
         let pb = Pauli::ALL[rng.gen_range(0..4)];
@@ -92,10 +300,10 @@ fn inject_random_pauli<R: Rng + ?Sized>(state: &mut StateVector, a: usize, b: us
             continue;
         }
         if pa != Pauli::I {
-            state.apply_single(a, &pa.matrix());
+            state.apply_single_naive(a, &pa.matrix());
         }
         if pb != Pauli::I {
-            state.apply_single(b, &pb.matrix());
+            state.apply_single_naive(b, &pb.matrix());
         }
         return;
     }
@@ -135,6 +343,12 @@ mod tests {
             "trajectories {value} vs exact {exact}"
         );
         assert!(exact < 0.0);
+        // The naive engine agrees on the noiseless value as well.
+        let naive = sim
+            .clone()
+            .with_engine(SimEngine::Naive)
+            .ising_cost_expectation(&schedule, &edges);
+        assert!((naive - exact).abs() < 1e-9);
     }
 
     #[test]
@@ -184,6 +398,68 @@ mod tests {
         assert!(analytic >= ideal && analytic <= 0.0);
         assert!(sampled >= ideal - 0.2 && sampled <= 0.1);
         assert!((sampled - analytic).abs() < 0.6);
+    }
+
+    #[test]
+    fn serial_and_parallel_shots_are_bit_identical() {
+        let (schedule, edges) = ring_schedule(0.6157, std::f64::consts::FRAC_PI_8);
+        let noisy_calibration = Calibration {
+            two_qubit_error: 0.12,
+            ..Calibration::montreal_october_2021()
+        };
+        let noise = NoiseModel::from_calibration(noisy_calibration);
+        for seed in 0..5 {
+            let sim = TrajectorySimulator::new(noise, TwoQubitBasis::Cnot, 24, seed);
+            let serial = sim
+                .clone()
+                .with_parallel(false)
+                .ising_cost_expectation(&schedule, &edges);
+            let parallel = sim
+                .clone()
+                .with_parallel(true)
+                .ising_cost_expectation(&schedule, &edges);
+            assert_eq!(
+                serial.to_bits(),
+                parallel.to_bits(),
+                "seed {seed} diverged across thread modes"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_and_kernelized_engines_agree_statistically() {
+        let (schedule, edges) = ring_schedule(0.6157, std::f64::consts::FRAC_PI_8);
+        let noisy_calibration = Calibration {
+            two_qubit_error: 0.1,
+            ..Calibration::montreal_october_2021()
+        };
+        let noise = NoiseModel::from_calibration(noisy_calibration);
+        let kernelized = TrajectorySimulator::new(noise, TwoQubitBasis::Cnot, 150, 9)
+            .ising_cost_expectation(&schedule, &edges);
+        let naive = TrajectorySimulator::new(noise, TwoQubitBasis::Cnot, 150, 9)
+            .with_engine(SimEngine::Naive)
+            .ising_cost_expectation(&schedule, &edges);
+        // Different RNG stream layouts, same distribution: the two Monte
+        // Carlo estimates must land close together.
+        assert!(
+            (kernelized - naive).abs() < 0.5,
+            "kernelized {kernelized} vs naive {naive}"
+        );
+    }
+
+    #[test]
+    fn ising_cost_table_matches_per_edge_expectations() {
+        let edges = vec![(0, 2), (1, 3), (0, 1)];
+        let table = IsingCostTable::new(4, &edges);
+        // Spot values: |0000⟩ has all bits equal → +3.
+        assert_eq!(table.cost(0), 3.0);
+        // |0101⟩: (0,2) equal (both 1), (1,3) equal (both 0), (0,1) differ.
+        assert_eq!(table.cost(0b0101), 1.0);
+        let (schedule, _) = ring_schedule(0.4, 0.3);
+        let mut state = StateVector::plus_state(4);
+        state.apply_scheduled(&schedule);
+        let direct: f64 = edges.iter().map(|&(u, v)| state.expectation_zz(u, v)).sum();
+        assert!((table.expectation(&state) - direct).abs() < 1e-12);
     }
 
     #[test]

@@ -16,6 +16,8 @@ use twoqan_repro::twoqan_graphs::{
 use twoqan_repro::twoqan_math::cost::TwoQubitBasisCost;
 use twoqan_repro::twoqan_math::weyl::{MakhlinInvariants, WeylCoordinates};
 use twoqan_repro::twoqan_math::{gates, Matrix4};
+use twoqan_repro::twoqan_sim::kernels::CompiledCircuit;
+use twoqan_repro::twoqan_sim::{SimEngine, TrajectorySimulator};
 
 /// Runs `property` over `cases` independent random cases drawn from a
 /// deterministically seeded generator.
@@ -236,6 +238,135 @@ fn simulator_preserves_norm_and_commuting_permutations() {
         for (x, y) in forward.amplitudes().iter().zip(reversed.amplitudes()) {
             assert!(x.approx_eq(*y, 1e-9));
         }
+    });
+}
+
+/// A random circuit mixing every gate kind the kernel classifier can see:
+/// diagonal / anti-diagonal / real / mixed single-qubit gates, and
+/// diagonal / swap-diagonal / dense two-qubit gates.
+fn arbitrary_mixed_circuit(n: usize, rng: &mut StdRng) -> Circuit {
+    let m = rng.gen_range(5..25usize);
+    let mut c = Circuit::new(n);
+    for _ in 0..m {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        if a == b {
+            b = (b + 1) % n;
+        }
+        let t = rng.gen_range(0.1..1.4);
+        let kind = match rng.gen_range(0..12u32) {
+            0 => GateKind::Rz(t),
+            1 => GateKind::Z,
+            2 => GateKind::X,
+            3 => GateKind::Y,
+            4 => GateKind::H,
+            5 => GateKind::Rx(t),
+            6 => GateKind::Ry(t),
+            7 => GateKind::U3(t, 0.3, -0.8),
+            8 => GateKind::Canonical {
+                xx: 0.0,
+                yy: 0.0,
+                zz: t,
+            },
+            9 => GateKind::DressedSwap {
+                xx: 0.0,
+                yy: 0.0,
+                zz: t,
+            },
+            10 => GateKind::Swap,
+            _ => GateKind::Canonical {
+                xx: t,
+                yy: 0.4,
+                zz: 0.2,
+            },
+        };
+        if kind.is_two_qubit() {
+            c.push(Gate::two(kind, a, b));
+        } else {
+            c.push(Gate::single(kind, a));
+        }
+    }
+    c
+}
+
+/// The stride/specialized kernels are amplitude-identical (≤ 1e-12) to the
+/// naive branch-per-index reference on random mixed circuits.
+#[test]
+fn kernels_match_naive_reference_on_random_circuits() {
+    for_random_cases(24, 111, |rng| {
+        let n = rng.gen_range(2..8usize);
+        let circuit = arbitrary_mixed_circuit(n, rng);
+        let mut reference = StateVector::plus_state(n);
+        for gate in circuit.iter() {
+            reference.apply_gate_naive(gate);
+        }
+        let mut kernelized = StateVector::plus_state(n);
+        kernelized.apply_circuit(&circuit);
+        for (x, y) in kernelized.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!((*x - *y).abs() <= 1e-12, "kernel {x} vs naive {y}");
+        }
+    });
+}
+
+/// Kernel application is bit-identical for every thread count (the
+/// amplitude-chunk partition never changes the arithmetic).
+#[test]
+fn kernels_are_bit_identical_across_thread_counts() {
+    for_random_cases(12, 112, |rng| {
+        let n = rng.gen_range(3..9usize);
+        let circuit = arbitrary_mixed_circuit(n, rng);
+        let compiled = CompiledCircuit::from_circuit(&circuit);
+        let mut serial = StateVector::plus_state(n);
+        serial.apply_compiled_with_threads(&compiled, 1);
+        for threads in [2usize, 3, 8] {
+            let mut threaded = StateVector::plus_state(n);
+            threaded.apply_compiled_with_threads(&compiled, threads);
+            assert_eq!(
+                threaded, serial,
+                "{threads} threads diverged from the serial kernels"
+            );
+        }
+    });
+}
+
+/// Trajectory sampling returns bit-identical estimates in serial and
+/// thread-pool shot execution for a fixed seed.
+#[test]
+fn trajectory_sampling_is_bit_identical_across_thread_modes() {
+    use twoqan_repro::twoqan_circuit::ScheduledCircuit;
+    for_random_cases(6, 113, |rng| {
+        let n = rng.gen_range(3..6usize);
+        let circuit = arbitrary_mixed_circuit(n, rng);
+        let gates: Vec<Gate> = circuit.iter().copied().collect();
+        let schedule = ScheduledCircuit::asap_from_gates(n, &gates);
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        let noise = NoiseModel::from_device(&Device::montreal());
+        let seed = rng.gen::<u64>();
+        let sim = TrajectorySimulator::new(noise, TwoQubitBasis::Cnot, 16, seed);
+        let serial = sim
+            .clone()
+            .with_parallel(false)
+            .ising_cost_expectation(&schedule, &edges);
+        let parallel = sim
+            .clone()
+            .with_parallel(true)
+            .ising_cost_expectation(&schedule, &edges);
+        assert_eq!(
+            serial.to_bits(),
+            parallel.to_bits(),
+            "trajectories diverged across thread modes for seed {seed}"
+        );
+        // And the naive engine stays statistically consistent with the
+        // kernelized one on the noiseless model (identical state up to
+        // floating-point reassociation).
+        let noiseless =
+            TrajectorySimulator::new(NoiseModel::noiseless(), TwoQubitBasis::Cnot, 2, 3);
+        let a = noiseless.ising_cost_expectation(&schedule, &edges);
+        let b = noiseless
+            .clone()
+            .with_engine(SimEngine::Naive)
+            .ising_cost_expectation(&schedule, &edges);
+        assert!((a - b).abs() < 1e-9, "kernelized {a} vs naive {b}");
     });
 }
 
