@@ -90,10 +90,12 @@ impl GenericCompiler {
         } else {
             (0..unified.num_qubits()).collect::<Vec<usize>>()
         };
+        let initial_placement = placement.clone();
         let physical_gates =
             route_in_order(&unified, device, &mut placement, self.config.lookahead);
         let schedule = ScheduledCircuit::asap_from_gates(device.num_qubits(), &physical_gates);
         BaselineResult::new(self.config.name, schedule, device)
+            .with_initial_placement(initial_placement)
     }
 }
 

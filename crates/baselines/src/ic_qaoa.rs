@@ -60,6 +60,7 @@ impl IcQaoaCompiler {
         );
         let solution = simulated_annealing(&qap, &AnnealingConfig::default(), &mut rng);
         let mut placement: Vec<usize> = solution.assignment[..unified.num_qubits()].to_vec();
+        let initial_placement = placement.clone();
 
         let mut physical: Vec<Gate> = Vec::new();
         // Single-qubit gates first (they commute with the routing decisions
@@ -91,7 +92,7 @@ impl IcQaoaCompiler {
             );
         }
         let schedule = ScheduledCircuit::asap_from_gates(device.num_qubits(), &physical);
-        BaselineResult::new("IC-QAOA", schedule, device)
+        BaselineResult::new("IC-QAOA", schedule, device).with_initial_placement(initial_placement)
     }
 }
 

@@ -32,6 +32,8 @@ impl NoMapCompiler {
             hardware_circuit: schedule,
             metrics,
             basis,
+            // No topology, no routing: qubit i stays qubit i.
+            initial_placement: Some((0..circuit.num_qubits()).collect()),
         }
     }
 

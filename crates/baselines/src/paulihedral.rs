@@ -105,6 +105,8 @@ impl PaulihedralCompiler {
             hardware_circuit: schedule,
             metrics,
             basis,
+            // All-to-all connectivity: qubit i stays qubit i.
+            initial_placement: Some((0..circuit.num_qubits()).collect()),
         }
     }
 }

@@ -16,6 +16,11 @@ pub struct BaselineResult {
     pub metrics: HardwareMetrics,
     /// The native basis the metrics were computed for.
     pub basis: TwoQubitBasis,
+    /// The initial placement `initial_placement[logical] = physical` the
+    /// compiler started from, consumed by the verification subsystem to
+    /// replay the compiled circuit (`None` for results built before the
+    /// placement was recorded).
+    pub initial_placement: Option<Vec<usize>>,
 }
 
 impl BaselineResult {
@@ -32,7 +37,15 @@ impl BaselineResult {
             hardware_circuit,
             metrics,
             basis,
+            initial_placement: None,
         }
+    }
+
+    /// Attaches the initial `logical → physical` placement the compiler
+    /// started from.
+    pub fn with_initial_placement(mut self, placement: Vec<usize>) -> Self {
+        self.initial_placement = Some(placement);
+        self
     }
 
     /// Number of inserted SWAPs.

@@ -1,0 +1,177 @@
+//! The conformance suite: fuzzes every compiler in the workspace with
+//! random 2-local workloads on random device topologies and cross-checks
+//! permutation-aware statevector equivalence (≤ 1e-10 amplitude error) plus
+//! the structural invariants.  See `BENCHMARKS.md` § Verification.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p twoqan-bench --bin bench_verify [--smoke] \
+//!     [--combos N] [--seed S] [--out PATH]
+//! ```
+//!
+//! Full mode runs 34 (workload × device) combos through all 6 compilers
+//! (204 cases) and writes `VERIFY_conformance.json` plus
+//! `results/verify_conformance.csv`; `--smoke` runs the 30-case CI subset.
+//! The exit code is non-zero if any case fails.
+
+use std::collections::BTreeMap;
+use twoqan_bench::report::{write_csv, Table};
+use twoqan_verify::{run_fuzz, ConformanceReport, FuzzConfig};
+
+fn summarise(report: &ConformanceReport) -> Table {
+    let mut table = Table::new(
+        "Conformance: equivalence + invariants per compiler",
+        &[
+            "compiler",
+            "cases",
+            "passed",
+            "strict",
+            "permutation",
+            "max |Δamp|",
+            "avg swaps",
+        ],
+    );
+    let mut groups: BTreeMap<&str, Vec<&twoqan_verify::CaseResult>> = BTreeMap::new();
+    for r in &report.results {
+        groups.entry(r.compiler).or_default().push(r);
+    }
+    for (compiler, cases) in groups {
+        let passed = cases.iter().filter(|c| c.passed()).count();
+        let strict = cases.iter().filter(|c| c.mode == "strict").count();
+        let max_err = cases
+            .iter()
+            .map(|c| c.max_amplitude_error)
+            .fold(0.0, f64::max);
+        let avg_swaps =
+            cases.iter().map(|c| c.swaps as f64).sum::<f64>() / cases.len().max(1) as f64;
+        table.push_row(vec![
+            compiler.to_string(),
+            cases.len().to_string(),
+            passed.to_string(),
+            strict.to_string(),
+            (cases.len() - strict).to_string(),
+            format!("{max_err:.2e}"),
+            format!("{avg_swaps:.1}"),
+        ]);
+    }
+    table
+}
+
+fn to_json(report: &ConformanceReport) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"suite\": \"conformance_fuzz\",\n");
+    json.push_str(&format!("  \"combos\": {},\n", report.config.combos));
+    json.push_str(&format!("  \"seed\": {},\n", report.config.seed));
+    json.push_str(&format!(
+        "  \"tolerance\": {:.1e},\n",
+        report.config.tolerance
+    ));
+    json.push_str(&format!("  \"cases\": {},\n", report.results.len()));
+    json.push_str(&format!("  \"passed\": {},\n", report.passed()));
+    json.push_str(&format!(
+        "  \"max_amplitude_error\": {:.3e},\n",
+        report.max_amplitude_error()
+    ));
+    json.push_str("  \"failures\": [\n");
+    let failures = report.failures();
+    for (i, f) in failures.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": {}, \"workload\": \"{}\", \"device\": \"{}\", \"compiler\": \"{}\", \"reason\": \"{}\"}}{}\n",
+            f.case_id,
+            f.workload,
+            f.device,
+            f.compiler,
+            f.failure.as_deref().unwrap_or("").replace('"', "'"),
+            if i + 1 == failures.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    json
+}
+
+fn main() {
+    let mut config = FuzzConfig::full();
+    let mut out = String::from("VERIFY_conformance.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                config.combos = FuzzConfig::smoke().combos;
+            }
+            "--combos" => {
+                config.combos = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--combos needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                config.seed = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; supported: --smoke, --combos N, --seed S, --out PATH"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_fuzz(&config);
+    summarise(&report).print();
+
+    let csv_path = write_csv(
+        "verify_conformance",
+        ConformanceReport::csv_header(),
+        &report.csv_lines(),
+    );
+    println!(
+        "wrote {} case rows to {}",
+        report.results.len(),
+        csv_path.display()
+    );
+
+    let json = to_json(&report);
+    std::fs::write(&out, &json).expect("writing the conformance summary");
+    println!("wrote {out}");
+
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!(
+            "conformance: {}/{} cases passed, max amplitude error {:.3e} (tolerance {:.1e})",
+            report.passed(),
+            report.results.len(),
+            report.max_amplitude_error(),
+            report.config.tolerance
+        );
+    } else {
+        eprintln!("conformance FAILED: {} case(s):", failures.len());
+        for f in &failures {
+            eprintln!(
+                "  #{} {} ({} qubits) on {} via {} [{}]: {}",
+                f.case_id,
+                f.workload,
+                f.qubits,
+                f.device,
+                f.compiler,
+                f.mode,
+                f.failure.as_deref().unwrap_or("")
+            );
+        }
+        std::process::exit(1);
+    }
+}

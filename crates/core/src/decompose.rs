@@ -196,4 +196,131 @@ mod tests {
         let err = decompose_to_cnot_exact(&s).unwrap_err();
         assert!(matches!(err, CompileError::UnsupportedGate { .. }));
     }
+
+    use twoqan_math::{gates, Matrix4};
+
+    /// Multiplies a decomposed two-qubit fragment (a circuit over qubits 0
+    /// and 1) back into a single 4×4 unitary, with qubit 0 as the
+    /// most-significant qubit of the matrix convention.
+    fn fragment_unitary(circuit: &Circuit) -> Matrix4 {
+        let mut u = Matrix4::identity();
+        for gate in circuit.iter() {
+            let m = if gate.is_two_qubit() {
+                let m = gate.kind.two_qubit_matrix();
+                if gate.qubit0() == 0 {
+                    m
+                } else {
+                    // Operands reversed relative to the matrix convention.
+                    m.exchange_qubits()
+                }
+            } else {
+                gates::embed_single(&gate.kind.single_qubit_matrix(), gate.qubit0())
+            };
+            u = m.mul(&u);
+        }
+        u
+    }
+
+    /// Every supported two-qubit kind must decompose into a CNOT fragment
+    /// whose matrix product reproduces the original unitary up to a global
+    /// phase.
+    #[test]
+    fn decomposition_identities_hold_numerically() {
+        let kinds = [
+            GateKind::Cnot,
+            GateKind::Cz,
+            GateKind::Swap,
+            GateKind::Canonical {
+                xx: 0.0,
+                yy: 0.0,
+                zz: 0.37,
+            },
+            GateKind::Canonical {
+                xx: 0.31,
+                yy: -0.22,
+                zz: 0.13,
+            },
+            GateKind::Canonical {
+                xx: 0.8,
+                yy: 0.0,
+                zz: 0.0,
+            },
+            GateKind::DressedSwap {
+                xx: 0.0,
+                yy: 0.0,
+                zz: 0.41,
+            },
+            GateKind::DressedSwap {
+                xx: 0.25,
+                yy: 0.15,
+                zz: -0.35,
+            },
+        ];
+        for kind in kinds {
+            let s = schedule_of(vec![Gate::two(kind, 0, 1)], 2);
+            let decomposed = decompose_to_cnot_exact(&s).unwrap();
+            let product = fragment_unitary(&decomposed);
+            let expected = kind.two_qubit_matrix();
+            assert!(
+                product.approx_eq_up_to_phase(&expected, 1e-10),
+                "{kind:?}: decomposed product deviates from the gate unitary by {:.3e}",
+                product.frobenius_distance(&expected)
+            );
+        }
+    }
+
+    /// Orientation matters: a fragment emitted onto reversed operands must
+    /// reproduce the qubit-exchanged unitary.
+    #[test]
+    fn decomposition_respects_operand_order() {
+        let kind = GateKind::Canonical {
+            xx: 0.0,
+            yy: 0.0,
+            zz: 0.29,
+        };
+        let s = schedule_of(vec![Gate::two(kind, 1, 0)], 2);
+        let decomposed = decompose_to_cnot_exact(&s).unwrap();
+        let product = fragment_unitary(&decomposed);
+        assert!(product.approx_eq_up_to_phase(&kind.two_qubit_matrix().exchange_qubits(), 1e-10));
+        // ZZ exponentials are exchange-symmetric, so the unexchanged matrix
+        // must match as well.
+        assert!(product.approx_eq_up_to_phase(&kind.two_qubit_matrix(), 1e-10));
+    }
+
+    /// A multi-gate schedule decomposes gate by gate: the full product over
+    /// a two-qubit register equals the product of the original unitaries.
+    #[test]
+    fn sequential_decomposition_matches_matrix_product() {
+        let original = vec![
+            Gate::single(GateKind::H, 0),
+            Gate::canonical(0, 1, 0.0, 0.0, 0.45),
+            Gate::two(
+                GateKind::DressedSwap {
+                    xx: 0.0,
+                    yy: 0.0,
+                    zz: 0.2,
+                },
+                0,
+                1,
+            ),
+            Gate::single(GateKind::Rx(0.6), 1),
+        ];
+        let s = schedule_of(original.clone(), 2);
+        let decomposed = decompose_to_cnot_exact(&s).unwrap();
+        let product = fragment_unitary(&decomposed);
+        let mut expected = Matrix4::identity();
+        for gate in s.iter_gates() {
+            let m = if gate.is_two_qubit() {
+                gate.kind.two_qubit_matrix()
+            } else {
+                gates::embed_single(&gate.kind.single_qubit_matrix(), gate.qubit0())
+            };
+            expected = m.mul(&expected);
+        }
+        assert!(
+            product.approx_eq_up_to_phase(&expected, 1e-10),
+            "sequential product deviates by {:.3e}",
+            product.frobenius_distance(&expected)
+        );
+    }
 }

@@ -1,0 +1,154 @@
+//! Errors reported by the verification subsystem.
+//!
+//! Every variant pins down *which* compiler contract was broken, so a fuzz
+//! failure message alone is usually enough to locate the offending pass.
+
+use std::fmt;
+
+/// A verification failure: the compiled circuit does not conform to the
+/// compiler's contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The compiler's claimed initial placement is malformed (wrong length,
+    /// out of range, or mapping two logical qubits to one physical qubit).
+    InvalidPlacement {
+        /// What is wrong with the placement.
+        detail: String,
+    },
+    /// A gate in the compiled circuit acts on a physical qubit that hosts no
+    /// logical qubit at that point of the schedule (only SWAPs may touch
+    /// unoccupied qubits).
+    UnmappedQubit {
+        /// Display form of the offending gate (on physical qubits).
+        gate: String,
+        /// The unoccupied physical qubit.
+        physical: usize,
+    },
+    /// The layout tracked through the compiled circuit's SWAPs disagrees
+    /// with the final layout the compiler claims.
+    FinalLayoutMismatch {
+        /// The logical qubit whose position disagrees.
+        logical: usize,
+        /// Position according to the tracked layout.
+        tracked: usize,
+        /// Position according to the compiler's claim.
+        claimed: usize,
+    },
+    /// The multiset of logical gates implemented by the compiled circuit is
+    /// not a permutation of the input circuit's gates.
+    GateMultisetMismatch {
+        /// A gate key present in one side but missing (or over-represented)
+        /// in the other.
+        detail: String,
+    },
+    /// Amplitudes of the compiled circuit disagree with the reference beyond
+    /// the tolerance (after undoing the layout permutation and aligning the
+    /// global phase).
+    AmplitudeMismatch {
+        /// Largest per-amplitude deviation observed.
+        max_error: f64,
+        /// The tolerance that was exceeded.
+        tolerance: f64,
+        /// Index of the random-input trial that failed first.
+        trial: usize,
+    },
+    /// The compiled state has weight outside the embedded logical subspace
+    /// (a gate entangled an unoccupied physical qubit).
+    Leakage {
+        /// Probability mass outside the embedded subspace.
+        weight: f64,
+        /// The tolerance that was exceeded.
+        tolerance: f64,
+    },
+    /// The compiled circuit would need more simulated qubits than the
+    /// checker's cap.
+    SupportTooLarge {
+        /// Number of physical qubits the compiled circuit actually touches.
+        support: usize,
+        /// The checker's cap.
+        limit: usize,
+    },
+    /// A moment of the scheduled circuit reuses a qubit or indexes out of
+    /// range.
+    InvalidMoments,
+    /// A two-qubit gate acts on a non-adjacent physical pair.
+    NonAdjacentGate {
+        /// Display form of the offending gate.
+        gate: String,
+    },
+    /// A structural count does not match the input circuit.
+    GateCountMismatch {
+        /// What was counted.
+        what: &'static str,
+        /// Count expected from the input circuit.
+        expected: usize,
+        /// Count found in the compiled circuit.
+        found: usize,
+    },
+    /// Per-qubit gate order of an order-respecting compiler's output
+    /// disagrees with the input circuit (a dependency-DAG violation).
+    OrderViolation {
+        /// The logical qubit whose projected gate sequence differs.
+        logical: usize,
+        /// Human-readable description of the first divergence.
+        detail: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::InvalidPlacement { detail } => {
+                write!(f, "malformed initial placement: {detail}")
+            }
+            VerifyError::UnmappedQubit { gate, physical } => write!(
+                f,
+                "gate `{gate}` acts on physical qubit {physical}, which hosts no logical qubit"
+            ),
+            VerifyError::FinalLayoutMismatch {
+                logical,
+                tracked,
+                claimed,
+            } => write!(
+                f,
+                "final layout mismatch for logical qubit {logical}: tracked physical {tracked}, compiler claims {claimed}"
+            ),
+            VerifyError::GateMultisetMismatch { detail } => {
+                write!(f, "compiled gate multiset is not a permutation of the input: {detail}")
+            }
+            VerifyError::AmplitudeMismatch {
+                max_error,
+                tolerance,
+                trial,
+            } => write!(
+                f,
+                "amplitude mismatch: max error {max_error:.3e} exceeds tolerance {tolerance:.1e} (trial {trial})"
+            ),
+            VerifyError::Leakage { weight, tolerance } => write!(
+                f,
+                "state leaked outside the embedded logical subspace: weight {weight:.3e} exceeds {tolerance:.1e}"
+            ),
+            VerifyError::SupportTooLarge { support, limit } => write!(
+                f,
+                "compiled circuit touches {support} physical qubits, above the simulation cap of {limit}"
+            ),
+            VerifyError::InvalidMoments => {
+                write!(f, "scheduled circuit has an invalid moment (qubit reuse or out of range)")
+            }
+            VerifyError::NonAdjacentGate { gate } => {
+                write!(f, "two-qubit gate `{gate}` acts on a non-adjacent physical pair")
+            }
+            VerifyError::GateCountMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what} count mismatch: expected {expected}, found {found}"),
+            VerifyError::OrderViolation { logical, detail } => write!(
+                f,
+                "per-qubit gate order violated on logical qubit {logical}: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

@@ -1,0 +1,461 @@
+//! The seeded conformance fuzzing harness.
+//!
+//! Each fuzz *combo* draws one random workload and one random device; each
+//! combo is then compiled by **every** compiler in the workspace (2QAN, the
+//! Qiskit-like and t|ket⟩-like generic baselines, IC-QAOA, Paulihedral and
+//! NoMap) and each compilation is checked for:
+//!
+//! * permutation-aware statevector equivalence at `≤ 1e-10` amplitude error
+//!   ([`crate::equivalence`]), in strict-order mode for order-respecting
+//!   compilers (and for every compiler when the workload's gates all
+//!   commute), in term-permutation mode otherwise;
+//! * structural invariants: connectivity of every two-qubit gate, moment
+//!   validity and gate-count accounting ([`crate::invariants`]);
+//! * dependency-DAG preservation for the order-respecting compilers.
+//!
+//! Everything is deterministic in the harness seed, so any failure
+//! reproduces from its case id alone.
+
+use crate::equivalence::{
+    all_gates_commute, EquivalenceChecker, EquivalenceMode, EquivalenceReport,
+};
+use crate::invariants::{check_order_preserved, check_structural};
+use crate::workloads::{random_device, random_workload, RandomTopologyKind, RandomWorkloadKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twoqan::{TwoQanCompiler, TwoQanConfig};
+use twoqan_baselines::{GenericCompiler, IcQaoaCompiler, NoMapCompiler, PaulihedralCompiler};
+use twoqan_circuit::{Circuit, ScheduledCircuit};
+use twoqan_device::{Device, TwoQubitBasis};
+
+/// The compilers exercised by the fuzzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzCompiler {
+    /// The 2QAN pipeline.
+    TwoQan,
+    /// The Qiskit-like order-respecting baseline.
+    QiskitLike,
+    /// The t|ket⟩-like order-respecting baseline.
+    TketLike,
+    /// The commutation-aware IC-QAOA baseline.
+    IcQaoa,
+    /// The block-ordered Paulihedral baseline.
+    Paulihedral,
+    /// The connectivity-unconstrained NoMap baseline.
+    NoMap,
+}
+
+impl FuzzCompiler {
+    /// All compilers, in report order.
+    pub const ALL: [FuzzCompiler; 6] = [
+        FuzzCompiler::TwoQan,
+        FuzzCompiler::QiskitLike,
+        FuzzCompiler::TketLike,
+        FuzzCompiler::IcQaoa,
+        FuzzCompiler::Paulihedral,
+        FuzzCompiler::NoMap,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FuzzCompiler::TwoQan => "2QAN",
+            FuzzCompiler::QiskitLike => "Qiskit-like",
+            FuzzCompiler::TketLike => "tket-like",
+            FuzzCompiler::IcQaoa => "IC-QAOA",
+            FuzzCompiler::Paulihedral => "Paulihedral-like",
+            FuzzCompiler::NoMap => "NoMap",
+        }
+    }
+
+    /// Whether this compiler preserves the input gate order (and must
+    /// therefore pass the strict-order check and DAG preservation).
+    pub fn order_respecting(&self) -> bool {
+        matches!(
+            self,
+            FuzzCompiler::QiskitLike | FuzzCompiler::TketLike | FuzzCompiler::Paulihedral
+        )
+    }
+}
+
+/// Configuration of a fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of (workload × device) combos; each combo runs every compiler,
+    /// so the case count is `combos × 6`.
+    pub combos: usize,
+    /// Master seed; case `i` derives its own generator from it.
+    pub seed: u64,
+    /// Amplitude tolerance for the equivalence check.
+    pub tolerance: f64,
+}
+
+impl FuzzConfig {
+    /// The full conformance run: 34 combos × 6 compilers = 204 cases.
+    pub fn full() -> Self {
+        Self {
+            combos: 34,
+            seed: 20220611, // the paper's ISCA year/month, for reproducibility
+            tolerance: 1e-10,
+        }
+    }
+
+    /// The CI smoke run: 5 combos × 6 compilers = 30 cases.
+    pub fn smoke() -> Self {
+        Self {
+            combos: 5,
+            ..Self::full()
+        }
+    }
+}
+
+/// The outcome of one (workload, device, compiler) case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Sequential case id (stable for a given config).
+    pub case_id: usize,
+    /// Workload family name.
+    pub workload: &'static str,
+    /// Number of circuit qubits.
+    pub qubits: usize,
+    /// Application two-qubit gates (after unification).
+    pub app_gates: usize,
+    /// Device name.
+    pub device: String,
+    /// Compiler name.
+    pub compiler: &'static str,
+    /// Equivalence mode the case ran in.
+    pub mode: &'static str,
+    /// SWAPs found in the compiled circuit (plain + dressed).
+    pub swaps: usize,
+    /// Dressed SWAPs found in the compiled circuit.
+    pub dressed_swaps: usize,
+    /// Maximum amplitude error after phase alignment.
+    pub max_amplitude_error: f64,
+    /// Simulated physical qubits (compacted support).
+    pub support_qubits: usize,
+    /// `None` if the case passed, otherwise the failure description.
+    pub failure: Option<String>,
+}
+
+impl CaseResult {
+    /// Whether the case passed every check.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// The aggregated outcome of a fuzzing run.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// The configuration the run used.
+    pub config: FuzzConfig,
+    /// One result per case.
+    pub results: Vec<CaseResult>,
+}
+
+impl ConformanceReport {
+    /// Number of cases that passed.
+    pub fn passed(&self) -> usize {
+        self.results.iter().filter(|r| r.passed()).count()
+    }
+
+    /// The failing cases.
+    pub fn failures(&self) -> Vec<&CaseResult> {
+        self.results.iter().filter(|r| !r.passed()).collect()
+    }
+
+    /// The largest amplitude error across all passing cases.
+    pub fn max_amplitude_error(&self) -> f64 {
+        self.results
+            .iter()
+            .map(|r| r.max_amplitude_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if every case passed.
+    pub fn all_passed(&self) -> bool {
+        self.passed() == self.results.len()
+    }
+
+    /// CSV header matching [`CaseResult`] serialisation.
+    pub fn csv_header() -> &'static str {
+        "case,workload,qubits,app_gates,device,compiler,mode,swaps,dressed_swaps,max_amplitude_error,support_qubits,status"
+    }
+
+    /// CSV lines, one per case.
+    pub fn csv_lines(&self) -> Vec<String> {
+        self.results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{:.3e},{},{}",
+                    r.case_id,
+                    r.workload,
+                    r.qubits,
+                    r.app_gates,
+                    r.device,
+                    r.compiler,
+                    r.mode,
+                    r.swaps,
+                    r.dressed_swaps,
+                    r.max_amplitude_error,
+                    r.support_qubits,
+                    if r.passed() { "pass" } else { "FAIL" }
+                )
+            })
+            .collect()
+    }
+}
+
+/// One compiled artifact in the uniform shape the checks consume.
+struct CompiledCase {
+    compiled: ScheduledCircuit,
+    initial_positions: Vec<usize>,
+    expected_final_positions: Option<Vec<usize>>,
+    /// `None` disables the connectivity check (NoMap).
+    device: Option<Device>,
+    swaps: usize,
+    dressed_swaps: usize,
+}
+
+/// Compiles one case through the requested compiler.
+fn compile_case(
+    compiler: FuzzCompiler,
+    circuit: &Circuit,
+    device: &Device,
+    seed: u64,
+) -> CompiledCase {
+    let identity: Vec<usize> = (0..circuit.num_qubits()).collect();
+    match compiler {
+        FuzzCompiler::TwoQan => {
+            let result = TwoQanCompiler::new(TwoQanConfig {
+                mapping_trials: 1,
+                seed,
+                ..TwoQanConfig::default()
+            })
+            .compile(circuit, device)
+            .expect("fuzz circuits fit on their devices");
+            CompiledCase {
+                initial_positions: result.initial_map.assignment().to_vec(),
+                expected_final_positions: Some(result.routed.final_map().assignment().to_vec()),
+                swaps: result.swap_count(),
+                dressed_swaps: result.dressed_swap_count(),
+                compiled: result.hardware_circuit,
+                device: Some(device.clone()),
+            }
+        }
+        FuzzCompiler::QiskitLike
+        | FuzzCompiler::TketLike
+        | FuzzCompiler::IcQaoa
+        | FuzzCompiler::Paulihedral => {
+            let result = match compiler {
+                FuzzCompiler::QiskitLike => GenericCompiler::qiskit_like().compile(circuit, device),
+                FuzzCompiler::TketLike => GenericCompiler::tket_like().compile(circuit, device),
+                FuzzCompiler::IcQaoa => IcQaoaCompiler::new(seed).compile(circuit, device),
+                FuzzCompiler::Paulihedral => PaulihedralCompiler::new().compile(circuit, device),
+                _ => unreachable!(),
+            };
+            CompiledCase {
+                initial_positions: result
+                    .initial_placement
+                    .clone()
+                    .expect("baseline compilers record their initial placement"),
+                expected_final_positions: None,
+                swaps: result.swap_count(),
+                dressed_swaps: result.metrics.dressed_swap_count,
+                compiled: result.hardware_circuit,
+                device: Some(device.clone()),
+            }
+        }
+        FuzzCompiler::NoMap => {
+            let result = NoMapCompiler::new().compile(circuit, TwoQubitBasis::Cnot);
+            CompiledCase {
+                initial_positions: identity,
+                expected_final_positions: None,
+                swaps: result.swap_count(),
+                dressed_swaps: result.metrics.dressed_swap_count,
+                compiled: result.hardware_circuit,
+                device: None,
+            }
+        }
+    }
+}
+
+/// The outcome of compiling and fully checking one (circuit, device,
+/// compiler) case.
+#[derive(Debug, Clone)]
+pub struct VerifiedCase {
+    /// The contract mode the case was checked in.
+    pub mode: EquivalenceMode,
+    /// SWAPs in the compiled circuit (plain + dressed).
+    pub swaps: usize,
+    /// Dressed SWAPs in the compiled circuit.
+    pub dressed_swaps: usize,
+    /// The equivalence report, or a description of the first failed check.
+    pub outcome: Result<EquivalenceReport, String>,
+}
+
+/// Compiles `circuit` through one compiler and runs the complete check
+/// battery: structural invariants, dependency-DAG preservation for the
+/// order-respecting compilers, and statevector equivalence in the
+/// compiler's contract mode (strict order when the compiler respects order
+/// or every gate commutes, term permutation otherwise; NoMap is checked
+/// without a connectivity constraint).
+///
+/// This is the single source of truth for each compiler's contract — the
+/// fuzz harness and the integration tests both go through it.
+pub fn verify_one(
+    compiler: FuzzCompiler,
+    circuit: &Circuit,
+    device: &Device,
+    seed: u64,
+    checker: &EquivalenceChecker,
+) -> VerifiedCase {
+    let unified = circuit.unify_same_pair_gates();
+    let mode = if compiler.order_respecting() || all_gates_commute(&unified) {
+        EquivalenceMode::StrictOrder
+    } else {
+        EquivalenceMode::TermPermutation
+    };
+    let case = compile_case(compiler, circuit, device, seed);
+    let outcome = run_checks(&case, &unified, mode, compiler.order_respecting(), checker);
+    VerifiedCase {
+        mode,
+        swaps: case.swaps,
+        dressed_swaps: case.dressed_swaps,
+        outcome,
+    }
+}
+
+/// Runs one compiled case's full check battery.
+fn run_checks(
+    case: &CompiledCase,
+    unified: &Circuit,
+    mode: EquivalenceMode,
+    order_respecting: bool,
+    checker: &EquivalenceChecker,
+) -> Result<EquivalenceReport, String> {
+    check_structural(&case.compiled, unified, case.device.as_ref())
+        .map_err(|e| format!("structural: {e}"))?;
+    if order_respecting {
+        check_order_preserved(unified, &case.compiled, &case.initial_positions)
+            .map_err(|e| format!("dag: {e}"))?;
+    }
+    checker
+        .check(
+            unified,
+            &case.compiled,
+            &case.initial_positions,
+            mode,
+            case.expected_final_positions.as_deref(),
+        )
+        .map_err(|e| format!("equivalence: {e}"))
+}
+
+/// Runs the full fuzzing harness for a configuration.
+pub fn run_fuzz(config: &FuzzConfig) -> ConformanceReport {
+    let checker = EquivalenceChecker {
+        tolerance: config.tolerance,
+        ..EquivalenceChecker::default()
+    };
+    let mut results = Vec::with_capacity(config.combos * FuzzCompiler::ALL.len());
+    let mut case_id = 0usize;
+    for combo in 0..config.combos {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(combo as u64));
+        let workload_kind = RandomWorkloadKind::ALL[combo % RandomWorkloadKind::ALL.len()];
+        let topology_kind = RandomTopologyKind::ALL[combo % RandomTopologyKind::ALL.len()];
+        let n = rng.gen_range(4..=9usize);
+        let workload = random_workload(workload_kind, n, &mut rng);
+        let device = random_device(topology_kind, n, &mut rng);
+        let app_gates = workload
+            .circuit
+            .unify_same_pair_gates()
+            .two_qubit_gate_count();
+        let per_check = EquivalenceChecker {
+            seed: checker.seed.wrapping_add(combo as u64),
+            ..checker.clone()
+        };
+        for compiler in FuzzCompiler::ALL {
+            let verified = verify_one(
+                compiler,
+                &workload.circuit,
+                &device,
+                config.seed.wrapping_add(1000 + combo as u64),
+                &per_check,
+            );
+            let (max_error, support) = match &verified.outcome {
+                Ok(report) => (report.max_amplitude_error, report.support_qubits),
+                Err(_) => (f64::NAN, 0),
+            };
+            results.push(CaseResult {
+                case_id,
+                workload: workload_kind.name(),
+                qubits: n,
+                app_gates,
+                device: if compiler == FuzzCompiler::NoMap {
+                    "all-to-all".to_string()
+                } else {
+                    device.name().to_string()
+                },
+                compiler: compiler.name(),
+                mode: verified.mode.name(),
+                swaps: verified.swaps,
+                dressed_swaps: verified.dressed_swaps,
+                max_amplitude_error: max_error,
+                support_qubits: support,
+                failure: verified.outcome.err(),
+            });
+            case_id += 1;
+        }
+    }
+    ConformanceReport {
+        config: config.clone(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fuzz_run_passes_every_case() {
+        let report = run_fuzz(&FuzzConfig::smoke());
+        assert_eq!(report.results.len(), 30);
+        let failures = report.failures();
+        assert!(
+            failures.is_empty(),
+            "fuzz failures: {:?}",
+            failures
+                .iter()
+                .map(|f| format!(
+                    "#{} {} on {} via {}: {}",
+                    f.case_id,
+                    f.workload,
+                    f.device,
+                    f.compiler,
+                    f.failure.as_deref().unwrap_or("")
+                ))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.max_amplitude_error() <= 1e-10);
+        // Every compiler and both modes are exercised.
+        for compiler in FuzzCompiler::ALL {
+            assert!(report.results.iter().any(|r| r.compiler == compiler.name()));
+        }
+        assert!(report.results.iter().any(|r| r.mode == "strict"));
+        assert!(report.results.iter().any(|r| r.mode == "permutation"));
+    }
+
+    #[test]
+    fn fuzz_runs_are_deterministic() {
+        let a = run_fuzz(&FuzzConfig::smoke());
+        let b = run_fuzz(&FuzzConfig::smoke());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.swaps, y.swaps);
+            assert_eq!(x.max_amplitude_error, y.max_amplitude_error);
+        }
+    }
+}

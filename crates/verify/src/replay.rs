@@ -1,0 +1,293 @@
+//! Logical replay extraction: walking a compiled hardware circuit while
+//! tracking the layout permutation its SWAPs induce.
+//!
+//! The compiled circuits of every compiler in this workspace consist of
+//! application-level unitaries (canonical gates), routing SWAPs, dressed
+//! SWAPs and single-qubit gates, all on *physical* qubits.  Starting from
+//! the compiler's initial placement, this module replays that circuit and
+//! recovers the *logical* gate sequence it implements:
+//!
+//! * a plain SWAP moves logical qubits between physical locations and
+//!   contributes no logical gate,
+//! * a dressed SWAP contributes the canonical gate it carries (the SWAP part
+//!   is, again, pure relabelling),
+//! * every other gate is mapped back through the current layout.
+//!
+//! The recovered sequence is the certified semantics of the compiled
+//! circuit: simulating the hardware circuit on the full register, then
+//! undoing the tracked final layout, must reproduce it amplitude for
+//! amplitude (the statement [`crate::equivalence`] checks numerically).
+
+use crate::error::VerifyError;
+use twoqan_circuit::{Circuit, Gate, GateKind, ScheduledCircuit};
+
+/// The logical gate sequence implemented by a compiled circuit, together
+/// with the layout bookkeeping recovered while extracting it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalReplay {
+    /// The implemented logical circuit, in execution order.
+    pub circuit: Circuit,
+    /// Final physical position of every logical qubit (after all SWAPs).
+    pub final_positions: Vec<usize>,
+    /// Number of swap-like gates (plain + dressed).
+    pub swap_count: usize,
+    /// Number of dressed SWAPs.
+    pub dressed_swap_count: usize,
+}
+
+/// Replays `compiled` from the given initial placement
+/// (`initial_positions[logical] = physical`) and extracts the logical gate
+/// sequence it implements.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::InvalidPlacement`] if the claimed placement is
+/// malformed (the placement is untrusted output of the compiler under
+/// test), and [`VerifyError::UnmappedQubit`] if a non-SWAP gate touches a
+/// physical qubit that hosts no logical qubit at that point (only SWAPs may
+/// move logical qubits onto empty hardware locations).
+pub fn extract_logical_replay(
+    compiled: &ScheduledCircuit,
+    initial_positions: &[usize],
+    num_logical: usize,
+) -> Result<LogicalReplay, VerifyError> {
+    if initial_positions.len() != num_logical {
+        return Err(VerifyError::InvalidPlacement {
+            detail: format!(
+                "{} positions for {num_logical} logical qubits",
+                initial_positions.len()
+            ),
+        });
+    }
+    let num_physical = compiled.num_qubits();
+    let mut occupant: Vec<Option<usize>> = vec![None; num_physical];
+    for (logical, &physical) in initial_positions.iter().enumerate() {
+        if physical >= num_physical {
+            return Err(VerifyError::InvalidPlacement {
+                detail: format!(
+                    "logical qubit {logical} placed on physical {physical}, device has {num_physical}"
+                ),
+            });
+        }
+        if let Some(other) = occupant[physical] {
+            return Err(VerifyError::InvalidPlacement {
+                detail: format!(
+                    "logical qubits {other} and {logical} both placed on physical {physical}"
+                ),
+            });
+        }
+        occupant[physical] = Some(logical);
+    }
+
+    let mut circuit = Circuit::new(num_logical);
+    let mut swap_count = 0usize;
+    let mut dressed_swap_count = 0usize;
+
+    let require = |occupant: &[Option<usize>], gate: &Gate, p: usize| {
+        occupant[p].ok_or(VerifyError::UnmappedQubit {
+            gate: gate.to_string(),
+            physical: p,
+        })
+    };
+
+    for gate in compiled.iter_gates() {
+        if !gate.is_two_qubit() {
+            let l = require(&occupant, gate, gate.qubit0())?;
+            circuit.push(Gate::single(gate.kind, l));
+            continue;
+        }
+        let (pa, pb) = (gate.qubit0(), gate.qubit1());
+        match gate.kind {
+            GateKind::Swap => {
+                swap_count += 1;
+                occupant.swap(pa, pb);
+            }
+            GateKind::DressedSwap { xx, yy, zz } => {
+                // A dressed SWAP applies the canonical gate first, then the
+                // SWAP (`SWAP · Can`), so the carried gate acts under the
+                // *pre-swap* layout.
+                let la = require(&occupant, gate, pa)?;
+                let lb = require(&occupant, gate, pb)?;
+                circuit.push(Gate::canonical(la, lb, xx, yy, zz));
+                swap_count += 1;
+                dressed_swap_count += 1;
+                occupant.swap(pa, pb);
+            }
+            _ => {
+                // Operand order is preserved so non-symmetric kinds (CNOT)
+                // keep their orientation.
+                let la = require(&occupant, gate, pa)?;
+                let lb = require(&occupant, gate, pb)?;
+                circuit.push(Gate::two(gate.kind, la, lb));
+            }
+        }
+    }
+
+    let mut final_positions = vec![usize::MAX; num_logical];
+    for (physical, l) in occupant.iter().enumerate() {
+        if let Some(l) = *l {
+            final_positions[l] = physical;
+        }
+    }
+    debug_assert!(final_positions.iter().all(|&p| p != usize::MAX));
+
+    Ok(LogicalReplay {
+        circuit,
+        final_positions,
+        swap_count,
+        dressed_swap_count,
+    })
+}
+
+/// A sortable, exact key for a gate: arity, qubits (normalised pair for the
+/// symmetric two-qubit kinds) and the `Debug` form of the kind (which
+/// round-trips `f64` coefficients exactly).
+fn gate_key(gate: &Gate) -> String {
+    if gate.is_two_qubit() {
+        let (a, b) = match gate.kind {
+            // CNOT orientation matters; everything else this workspace
+            // compiles is symmetric under qubit exchange.
+            GateKind::Cnot => (gate.qubit0(), gate.qubit1()),
+            _ => gate.qubit_pair(),
+        };
+        format!("2|{a}|{b}|{:?}", gate.kind)
+    } else {
+        format!("1|{}|{:?}", gate.qubit0(), gate.kind)
+    }
+}
+
+/// The sorted multiset of gate keys of a circuit.
+pub fn gate_signature(circuit: &Circuit) -> Vec<String> {
+    let mut keys: Vec<String> = circuit.iter().map(gate_key).collect();
+    keys.sort();
+    keys
+}
+
+/// Checks that `replay` implements exactly the gates of `original` (as a
+/// multiset — order-free, which is the 2QAN permutation contract).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::GateMultisetMismatch`] naming the first gate key
+/// present on one side only.
+pub fn check_gate_multiset(original: &Circuit, replay: &Circuit) -> Result<(), VerifyError> {
+    let a = gate_signature(original);
+    let b = gate_signature(replay);
+    if a == b {
+        return Ok(());
+    }
+    // Find the first key that differs for a useful message.
+    let detail = a
+        .iter()
+        .zip(b.iter())
+        .find(|(x, y)| x != y)
+        .map(|(x, y)| format!("input has `{x}`, compiled implements `{y}`"))
+        .unwrap_or_else(|| {
+            format!(
+                "input has {} gates, compiled implements {}",
+                a.len(),
+                b.len()
+            )
+        });
+    Err(VerifyError::GateMultisetMismatch { detail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_tracks_swaps_and_dressed_swaps() {
+        // Physical circuit on 4 qubits; logical 0 at physical 0, logical 1 at
+        // physical 2.
+        let gates = vec![
+            Gate::single(GateKind::H, 0),
+            Gate::swap(2, 1), // logical 1 moves to physical 1
+            Gate::canonical(0, 1, 0.0, 0.0, 0.4),
+            Gate::two(
+                GateKind::DressedSwap {
+                    xx: 0.1,
+                    yy: 0.0,
+                    zz: 0.2,
+                },
+                0,
+                1,
+            ), // canonical(l0, l1) then swap: l0 -> 1, l1 -> 0
+        ];
+        let compiled = ScheduledCircuit::asap_from_gates(4, &gates);
+        let replay = extract_logical_replay(&compiled, &[0, 2], 2).unwrap();
+        assert_eq!(replay.swap_count, 2);
+        assert_eq!(replay.dressed_swap_count, 1);
+        assert_eq!(replay.final_positions, vec![1, 0]);
+        assert_eq!(replay.circuit.gate_count(), 3);
+        assert_eq!(
+            replay.circuit.gates()[1],
+            Gate::canonical(0, 1, 0.0, 0.0, 0.4)
+        );
+        assert_eq!(
+            replay.circuit.gates()[2],
+            Gate::canonical(0, 1, 0.1, 0.0, 0.2)
+        );
+    }
+
+    #[test]
+    fn swaps_may_move_qubits_onto_empty_locations() {
+        let gates = vec![Gate::swap(0, 3), Gate::single(GateKind::X, 3)];
+        let compiled = ScheduledCircuit::asap_from_gates(4, &gates);
+        let replay = extract_logical_replay(&compiled, &[0], 1).unwrap();
+        assert_eq!(replay.final_positions, vec![3]);
+        assert_eq!(replay.circuit.gates()[0], Gate::single(GateKind::X, 0));
+    }
+
+    #[test]
+    fn malformed_placements_are_reported_not_panicked() {
+        let compiled = ScheduledCircuit::asap_from_gates(3, &[Gate::single(GateKind::H, 0)]);
+        // Duplicate placement.
+        let err = extract_logical_replay(&compiled, &[0, 0], 2).unwrap_err();
+        assert!(matches!(err, VerifyError::InvalidPlacement { .. }));
+        // Out of range.
+        let err = extract_logical_replay(&compiled, &[0, 7], 2).unwrap_err();
+        assert!(matches!(err, VerifyError::InvalidPlacement { .. }));
+        // Wrong length.
+        let err = extract_logical_replay(&compiled, &[0], 2).unwrap_err();
+        assert!(matches!(err, VerifyError::InvalidPlacement { .. }));
+    }
+
+    #[test]
+    fn gates_on_unoccupied_qubits_are_rejected() {
+        let gates = vec![Gate::canonical(0, 3, 0.0, 0.0, 0.3)];
+        let compiled = ScheduledCircuit::asap_from_gates(4, &gates);
+        let err = extract_logical_replay(&compiled, &[0, 1], 2).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::UnmappedQubit { physical: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn multiset_check_accepts_permutations_and_rejects_changes() {
+        let mut a = Circuit::new(3);
+        a.push(Gate::canonical(0, 1, 0.1, 0.2, 0.3));
+        a.push(Gate::canonical(1, 2, 0.0, 0.0, 0.4));
+        a.push(Gate::single(GateKind::Rx(0.5), 2));
+        let mut b = Circuit::new(3);
+        b.push(Gate::single(GateKind::Rx(0.5), 2));
+        b.push(Gate::canonical(2, 1, 0.0, 0.0, 0.4));
+        b.push(Gate::canonical(1, 0, 0.1, 0.2, 0.3));
+        check_gate_multiset(&a, &b).unwrap();
+        let mut c = Circuit::new(3);
+        c.push(Gate::canonical(0, 1, 0.1, 0.2, 0.3));
+        c.push(Gate::canonical(1, 2, 0.0, 0.0, 0.4000001));
+        c.push(Gate::single(GateKind::Rx(0.5), 2));
+        assert!(check_gate_multiset(&a, &c).is_err());
+    }
+
+    #[test]
+    fn cnot_orientation_is_part_of_the_key() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::two(GateKind::Cnot, 0, 1));
+        let mut b = Circuit::new(2);
+        b.push(Gate::two(GateKind::Cnot, 1, 0));
+        assert!(check_gate_multiset(&a, &b).is_err());
+    }
+}

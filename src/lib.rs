@@ -28,6 +28,7 @@ pub use twoqan_graphs;
 pub use twoqan_ham;
 pub use twoqan_math;
 pub use twoqan_sim;
+pub use twoqan_verify;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -39,4 +40,5 @@ pub mod prelude {
     pub use twoqan_device::{Device, GateSet, TwoQubitBasis};
     pub use twoqan_ham::{nnn_heisenberg, nnn_ising, nnn_xy, trotterize, Hamiltonian, QaoaProblem};
     pub use twoqan_sim::{NoiseModel, StateVector};
+    pub use twoqan_verify::{EquivalenceChecker, EquivalenceMode};
 }

@@ -8,6 +8,7 @@ use twoqan_repro::twoqan::decompose::decompose_to_cnot_exact;
 use twoqan_repro::twoqan_circuit::GateKind;
 use twoqan_repro::twoqan_math::gates;
 use twoqan_repro::twoqan_sim::{evaluate_qaoa, NoiseModel};
+use twoqan_repro::twoqan_verify::{verify_one, EquivalenceChecker, EquivalenceMode, FuzzCompiler};
 
 fn compile_2qan(circuit: &Circuit, device: &Device) -> twoqan_repro::twoqan::CompilationResult {
     TwoQanCompiler::new(TwoQanConfig {
@@ -111,6 +112,59 @@ fn compiled_commuting_circuit_is_exactly_equivalent_on_the_simulator() {
             (l - h).abs() < 1e-9,
             "correlator mismatch on edge ({u},{v}): logical {l} vs hardware {h}"
         );
+    }
+}
+
+#[test]
+fn every_compiler_is_equivalence_checked_end_to_end() {
+    // All four baseline compilers plus 2QAN, end to end on real workloads
+    // and devices, through `verify_one` — the same single source of truth
+    // for each compiler's contract (check mode, connectivity constraint,
+    // DAG preservation) that the conformance fuzzer uses.  It asserts
+    // strict unitary equivalence for the order-respecting compilers and
+    // faithful gate-permutation realisation (plus the exact multiset and
+    // final-layout checks) for the commutation-exploiting ones.
+    let device = Device::aspen();
+    let checker = EquivalenceChecker::default();
+    for (name, circuit) in [
+        ("heisenberg", trotterize(&nnn_heisenberg(8, 5), 1, 1.0)),
+        ("ising", trotterize(&nnn_ising(8, 3), 1, 1.0)),
+        (
+            "qaoa",
+            QaoaProblem::random_regular(8, 3, 9)
+                .circuit(&[QaoaProblem::optimal_p1_angles_regular3()], true),
+        ),
+        (
+            "zz-commuting",
+            trotterize(
+                &QaoaProblem::random_regular(8, 3, 9).cost_hamiltonian(),
+                1,
+                0.4,
+            ),
+        ),
+    ] {
+        for compiler in FuzzCompiler::ALL {
+            let verified = verify_one(compiler, &circuit, &device, 7, &checker);
+            let report = verified.outcome.unwrap_or_else(|e| {
+                panic!("{} on {name}: {e}", compiler.name());
+            });
+            assert!(
+                report.max_amplitude_error <= 1e-10,
+                "{} on {name}: {}",
+                compiler.name(),
+                report.max_amplitude_error
+            );
+            // Order-respecting compilers (and everyone on the commuting
+            // workload) are held to exact unitary equivalence.
+            if compiler.order_respecting() || name == "zz-commuting" {
+                assert_eq!(
+                    verified.mode,
+                    EquivalenceMode::StrictOrder,
+                    "{} on {name}",
+                    compiler.name()
+                );
+            }
+        }
     }
 }
 
