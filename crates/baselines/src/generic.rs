@@ -11,10 +11,16 @@
 //! * `tket_like` — "line placement" along a device path plus a look-ahead
 //!   SWAP selection (fewer SWAPs, like t|ket⟩'s results, but still well
 //!   above 2QAN).
+//!
+//! Both run as pass pipelines (`[unify, placement, ordered-routing,
+//! asap-schedule, decompose]`, see [`crate::passes`]) behind the
+//! [`Compiler`] trait.
 
+use crate::passes::{AsapSchedulePass, OrderedRoutingPass, PlacementPass};
 use crate::result::BaselineResult;
-use std::collections::VecDeque;
-use twoqan_circuit::{Circuit, Gate, ScheduledCircuit};
+use twoqan::pipeline::{ensure_fits, CompilationContext, CompiledOutput, Compiler, PassManager};
+use twoqan::{CompileError, DecomposePass, UnifyPass};
+use twoqan_circuit::Circuit;
 use twoqan_device::Device;
 
 /// Configuration of the generic order-respecting compiler.
@@ -72,171 +78,58 @@ impl GenericCompiler {
         Self::new(GenericConfig::tket_like())
     }
 
+    /// The pass pipeline this configuration describes.
+    pub fn pipeline(&self) -> PassManager {
+        PassManager::with_passes(vec![
+            // The paper pre-processes the baselines' inputs with the same
+            // circuit-unitary-unifying pass used for 2QAN.
+            Box::new(UnifyPass),
+            Box::new(PlacementPass::new(self.config.line_placement)),
+            Box::new(OrderedRoutingPass::new(self.config.lookahead)),
+            Box::new(AsapSchedulePass),
+            Box::new(DecomposePass),
+        ])
+    }
+
     /// Compiles a circuit onto a device, respecting the input gate order.
     ///
     /// # Panics
     ///
-    /// Panics if the circuit has more qubits than the device.
+    /// Panics if the circuit has more qubits than the device, or if a
+    /// pipeline pass fails (use the [`Compiler`] trait entry point for a
+    /// `Result`).
     pub fn compile(&self, circuit: &Circuit, device: &Device) -> BaselineResult {
-        assert!(
-            circuit.num_qubits() <= device.num_qubits(),
-            "circuit does not fit on the device"
-        );
-        // The paper pre-processes the baselines' inputs with the same
-        // circuit-unitary-unifying pass used for 2QAN.
-        let unified = circuit.unify_same_pair_gates();
-        let mut placement = if self.config.line_placement {
-            line_placement(&unified, device)
-        } else {
-            (0..unified.num_qubits()).collect::<Vec<usize>>()
-        };
-        let initial_placement = placement.clone();
-        let physical_gates =
-            route_in_order(&unified, device, &mut placement, self.config.lookahead);
-        let schedule = ScheduledCircuit::asap_from_gates(device.num_qubits(), &physical_gates);
-        BaselineResult::new(self.config.name, schedule, device)
-            .with_initial_placement(initial_placement)
-    }
-}
-
-/// Places logical qubits along a long path of the device (an approximation
-/// of t|ket⟩'s LinePlacement): physical qubits are visited in BFS order from
-/// qubit 0 and assigned to logical qubits in the order they first appear in
-/// the circuit's interaction list.
-fn line_placement(circuit: &Circuit, device: &Device) -> Vec<usize> {
-    // Order logical qubits by first appearance.
-    let mut logical_order = Vec::new();
-    for g in circuit.two_qubit_gates() {
-        for q in [g.qubit0(), g.qubit1()] {
-            if !logical_order.contains(&q) {
-                logical_order.push(q);
+        match Compiler::compile(self, circuit, device) {
+            Ok(out) => out.into(),
+            Err(e @ CompileError::TooManyQubits { .. }) => {
+                panic!("circuit does not fit on the device: {e}")
             }
+            Err(e) => panic!("{} compilation failed: {e}", self.config.name),
         }
     }
-    for q in 0..circuit.num_qubits() {
-        if !logical_order.contains(&q) {
-            logical_order.push(q);
-        }
-    }
-    // BFS over the device to obtain a connected visiting order.
-    let mut visited = vec![false; device.num_qubits()];
-    let mut physical_order = Vec::new();
-    let mut queue = VecDeque::from([0usize]);
-    visited[0] = true;
-    while let Some(p) = queue.pop_front() {
-        physical_order.push(p);
-        for n in device.neighbors(p) {
-            if !visited[n] {
-                visited[n] = true;
-                queue.push_back(n);
-            }
-        }
-    }
-    let mut placement = vec![0usize; circuit.num_qubits()];
-    for (idx, &logical) in logical_order.iter().enumerate() {
-        placement[logical] = physical_order[idx];
-    }
-    placement
 }
 
-/// Routes the circuit gate by gate in input order, inserting SWAPs whenever
-/// the next two-qubit gate is not nearest-neighbour.  Returns the physical
-/// gate sequence (SWAPs + circuit gates + single-qubit gates).
-fn route_in_order(
-    circuit: &Circuit,
-    device: &Device,
-    placement: &mut [usize],
-    lookahead: usize,
-) -> Vec<Gate> {
-    let gates: Vec<Gate> = circuit.iter().copied().collect();
-    let mut out = Vec::new();
-    for (idx, gate) in gates.iter().enumerate() {
-        if !gate.is_two_qubit() {
-            out.push(Gate::single(gate.kind, placement[gate.qubit0()]));
-            continue;
-        }
-        let (u, v) = (gate.qubit0(), gate.qubit1());
-        // Insert SWAPs until the pair is adjacent.
-        let mut guard = 0usize;
-        while !device.are_adjacent(placement[u], placement[v]) {
-            let swap = choose_swap(&gates[idx..], placement, device, u, v, lookahead);
-            apply_swap(placement, swap);
-            out.push(Gate::swap(swap.0, swap.1));
-            guard += 1;
-            assert!(
-                guard <= device.num_qubits() * 4,
-                "order-respecting routing failed to converge"
-            );
-        }
-        out.push(Gate::two(gate.kind, placement[u], placement[v]));
+impl Compiler for GenericCompiler {
+    fn name(&self) -> &'static str {
+        self.config.name
     }
-    out
-}
 
-/// Chooses the next SWAP for the front gate `(u, v)`.
-fn choose_swap(
-    remaining: &[Gate],
-    placement: &[usize],
-    device: &Device,
-    u: usize,
-    v: usize,
-    lookahead: usize,
-) -> (usize, usize) {
-    let (pu, pv) = (placement[u], placement[v]);
-    if lookahead == 0 {
-        // Qiskit-like: move `u` one hop along a shortest path towards `v`.
-        let next = device
-            .neighbors(pu)
-            .into_iter()
-            .min_by_key(|&n| device.distance(n, pv))
-            .expect("connected devices have neighbours");
-        return (pu.min(next), pu.max(next));
+    fn order_respecting(&self) -> bool {
+        true
     }
-    // t|ket⟩-like: consider every SWAP adjacent to either endpoint, score by
-    // the front gate's distance after the SWAP plus the summed distances of
-    // the next `lookahead` two-qubit gates.
-    let mut candidates = Vec::new();
-    for &p in &[pu, pv] {
-        for n in device.neighbors(p) {
-            let pair = (p.min(n), p.max(n));
-            if !candidates.contains(&pair) {
-                candidates.push(pair);
-            }
-        }
-    }
-    let score = |swap: (usize, usize)| -> (u32, u32) {
-        let mut trial = placement.to_vec();
-        apply_swap(&mut trial, swap);
-        let front = device.distance(trial[u], trial[v]);
-        let future: u32 = remaining
-            .iter()
-            .filter(|g| g.is_two_qubit())
-            .skip(1)
-            .take(lookahead)
-            .map(|g| device.distance(trial[g.qubit0()], trial[g.qubit1()]))
-            .sum();
-        (front, future)
-    };
-    candidates
-        .into_iter()
-        .min_by_key(|&swap| score(swap))
-        .expect("candidate set is non-empty")
-}
 
-/// Applies a physical SWAP to a `logical → physical` placement vector.
-fn apply_swap(placement: &mut [usize], swap: (usize, usize)) {
-    for p in placement.iter_mut() {
-        if *p == swap.0 {
-            *p = swap.1;
-        } else if *p == swap.1 {
-            *p = swap.0;
-        }
+    fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledOutput, CompileError> {
+        ensure_fits(circuit, device)?;
+        let mut ctx = CompilationContext::for_device(circuit.clone(), device, 0);
+        let report = self.pipeline().run(&mut ctx)?;
+        Ok(ctx.into_output(self.config.name, report))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twoqan_circuit::Gate;
     use twoqan_device::TwoQubitBasis;
     use twoqan_ham::{nnn_heisenberg, nnn_ising, trotter_step, QaoaProblem};
 
@@ -296,6 +189,33 @@ mod tests {
         // Trivial placement on a line also works for an ordered chain.
         let r2 = GenericCompiler::qiskit_like().compile(&circuit, &device);
         assert_eq!(r2.swap_count(), 0);
+    }
+
+    #[test]
+    fn compile_reports_the_pass_pipeline() {
+        let circuit = trotter_step(&nnn_ising(8, 1), 1.0);
+        let device = Device::aspen();
+        let out = Compiler::compile(&GenericCompiler::tket_like(), &circuit, &device).unwrap();
+        assert_eq!(
+            out.report.pass_names(),
+            vec![
+                "unify",
+                "line-placement",
+                "ordered-routing",
+                "asap-schedule",
+                "decompose"
+            ]
+        );
+        assert_eq!(out.compiler, "tket-like");
+        assert!(out.final_placement.is_some());
+    }
+
+    #[test]
+    fn oversized_circuits_error_through_the_trait() {
+        let circuit = trotter_step(&nnn_ising(20, 0), 1.0);
+        let err = Compiler::compile(&GenericCompiler::qiskit_like(), &circuit, &Device::aspen())
+            .unwrap_err();
+        assert!(matches!(err, CompileError::TooManyQubits { .. }));
     }
 
     #[test]

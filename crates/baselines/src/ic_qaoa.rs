@@ -4,7 +4,9 @@
 //! all ZZ cost terms of a QAOA layer commute, so gates may be reordered
 //! during routing; they do not, however, perform SWAP/gate unitary unifying
 //! and they schedule with a conventional dependency-respecting scheduler.
-//! This implementation captures exactly that behaviour class:
+//! This implementation captures exactly that behaviour class as the pass
+//! pipeline `[unify, qap-annealing-placement, commutation-routing,
+//! asap-schedule, decompose]` (see [`crate::passes`]):
 //!
 //! * initial placement: the same QAP formulation solved with simulated
 //!   annealing (a lighter-weight heuristic than 2QAN's Tabu search),
@@ -14,12 +16,12 @@
 //!   shorten the current gate's distance,
 //! * no dressed SWAPs, ASAP dependency-respecting scheduling.
 
+use crate::passes::{AnnealingPlacementPass, AsapSchedulePass, CommutationRoutingPass};
 use crate::result::BaselineResult;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use twoqan_circuit::{Circuit, Gate, ScheduledCircuit};
+use twoqan::pipeline::{ensure_fits, CompilationContext, CompiledOutput, Compiler, PassManager};
+use twoqan::{CompileError, DecomposePass, UnifyPass};
+use twoqan_circuit::Circuit;
 use twoqan_device::Device;
-use twoqan_graphs::{simulated_annealing, AnnealingConfig, QapProblem};
 
 /// The IC-QAOA-style baseline compiler.
 #[derive(Debug, Clone, Copy)]
@@ -39,98 +41,52 @@ impl IcQaoaCompiler {
         Self { seed }
     }
 
+    /// The pass pipeline this compiler runs.
+    pub fn pipeline(&self) -> PassManager {
+        PassManager::with_passes(vec![
+            Box::new(UnifyPass),
+            Box::new(AnnealingPlacementPass),
+            Box::new(CommutationRoutingPass),
+            Box::new(AsapSchedulePass),
+            Box::new(DecomposePass),
+        ])
+    }
+
     /// Compiles a (QAOA-style) circuit onto a device.
     ///
     /// # Panics
     ///
-    /// Panics if the circuit has more qubits than the device.
+    /// Panics if the circuit has more qubits than the device, or if a
+    /// pipeline pass fails (use the [`Compiler`] trait entry point for a
+    /// `Result`).
     pub fn compile(&self, circuit: &Circuit, device: &Device) -> BaselineResult {
-        assert!(
-            circuit.num_qubits() <= device.num_qubits(),
-            "circuit does not fit on the device"
-        );
-        let unified = circuit.unify_same_pair_gates();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        // QAP placement with zero-flow padding so qubits can occupy any
-        // hardware location.
-        let qap = QapProblem::from_interactions(
-            device.num_qubits(),
-            &unified.interaction_pairs(),
-            device.distances(),
-        );
-        let solution = simulated_annealing(&qap, &AnnealingConfig::default(), &mut rng);
-        let mut placement: Vec<usize> = solution.assignment[..unified.num_qubits()].to_vec();
-        let initial_placement = placement.clone();
-
-        let mut physical: Vec<Gate> = Vec::new();
-        // Single-qubit gates first (they commute with the routing decisions
-        // at the level of qubit placement bookkeeping).
-        for g in unified.single_qubit_gates() {
-            physical.push(Gate::single(g.kind, placement[g.qubit0()]));
-        }
-        let mut pending: Vec<Gate> = unified.two_qubit_gates().copied().collect();
-        // Commutation awareness: flush everything that is already NN.
-        flush_nearest_neighbours(&mut pending, &placement, device, &mut physical);
-        let mut guard = 0usize;
-        while !pending.is_empty() {
-            let gate = pending[0];
-            let (u, v) = (gate.qubit0(), gate.qubit1());
-            let (pu, pv) = (placement[u], placement[v]);
-            // Greedy: move `u` one hop towards `v`.
-            let next = device
-                .neighbors(pu)
-                .into_iter()
-                .min_by_key(|&n| device.distance(n, pv))
-                .expect("connected device");
-            apply_swap(&mut placement, (pu, next));
-            physical.push(Gate::swap(pu.min(next), pu.max(next)));
-            flush_nearest_neighbours(&mut pending, &placement, device, &mut physical);
-            guard += 1;
-            assert!(
-                guard <= device.num_qubits() * unified.two_qubit_gate_count().max(4) * 4,
-                "IC-QAOA routing failed to converge"
-            );
-        }
-        let schedule = ScheduledCircuit::asap_from_gates(device.num_qubits(), &physical);
-        BaselineResult::new("IC-QAOA", schedule, device).with_initial_placement(initial_placement)
-    }
-}
-
-/// Moves every pending gate whose qubits are currently adjacent into the
-/// physical gate list (commuting terms may be executed in any order).
-fn flush_nearest_neighbours(
-    pending: &mut Vec<Gate>,
-    placement: &[usize],
-    device: &Device,
-    physical: &mut Vec<Gate>,
-) {
-    let mut i = 0;
-    while i < pending.len() {
-        let g = pending[i];
-        let (pu, pv) = (placement[g.qubit0()], placement[g.qubit1()]);
-        if device.are_adjacent(pu, pv) {
-            physical.push(Gate::two(g.kind, pu, pv));
-            pending.remove(i);
-        } else {
-            i += 1;
+        match Compiler::compile(self, circuit, device) {
+            Ok(out) => out.into(),
+            Err(e @ CompileError::TooManyQubits { .. }) => {
+                panic!("circuit does not fit on the device: {e}")
+            }
+            Err(e) => panic!("IC-QAOA compilation failed: {e}"),
         }
     }
 }
 
-/// Applies a physical SWAP to a placement vector.
-fn apply_swap(placement: &mut [usize], swap: (usize, usize)) {
-    for p in placement.iter_mut() {
-        if *p == swap.0 {
-            *p = swap.1;
-        } else if *p == swap.1 {
-            *p = swap.0;
-        }
+impl Compiler for IcQaoaCompiler {
+    fn name(&self) -> &'static str {
+        "IC-QAOA"
+    }
+
+    fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledOutput, CompileError> {
+        ensure_fits(circuit, device)?;
+        let mut ctx = CompilationContext::for_device(circuit.clone(), device, self.seed);
+        let report = self.pipeline().run(&mut ctx)?;
+        Ok(ctx.into_output(Compiler::name(self), report))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twoqan_circuit::Gate;
     use twoqan_ham::QaoaProblem;
 
     #[test]
@@ -176,5 +132,26 @@ mod tests {
             a.metrics.hardware_two_qubit_count,
             b.metrics.hardware_two_qubit_count
         );
+    }
+
+    #[test]
+    fn trait_compile_reports_the_pipeline_and_errors_on_oversized_input() {
+        let problem = QaoaProblem::random_regular(8, 3, 1);
+        let circuit = problem.circuit(&[(0.5, 0.3)], false);
+        let out =
+            Compiler::compile(&IcQaoaCompiler::default(), &circuit, &Device::aspen()).unwrap();
+        assert_eq!(
+            out.report.pass_names(),
+            vec![
+                "unify",
+                "qap-annealing-placement",
+                "commutation-routing",
+                "asap-schedule",
+                "decompose"
+            ]
+        );
+        let big = QaoaProblem::random_regular(20, 3, 1).circuit(&[(0.5, 0.3)], false);
+        let err = Compiler::compile(&IcQaoaCompiler::default(), &big, &Device::aspen());
+        assert!(matches!(err, Err(CompileError::TooManyQubits { .. })));
     }
 }

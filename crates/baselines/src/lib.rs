@@ -22,17 +22,29 @@
 //! All baselines receive the same circuit-unified input as 2QAN (the paper
 //! pre-processes the inputs of Qiskit and t|ket⟩ the same way) and report
 //! their results through the common [`BaselineResult`] type.
+//!
+//! Every baseline is expressed as a pass pipeline over the shared
+//! `twoqan::pipeline` framework (see [`passes`]) and registered — together
+//! with 2QAN itself — in the [`CompilerRegistry`], the single dispatch
+//! point benchmark and verification code constructs compilers through.
 
 #![deny(missing_docs)]
 
 pub mod generic;
 pub mod ic_qaoa;
 pub mod nomap;
+pub mod passes;
 pub mod paulihedral;
+pub mod registry;
 pub mod result;
 
 pub use generic::{GenericCompiler, GenericConfig};
 pub use ic_qaoa::IcQaoaCompiler;
 pub use nomap::NoMapCompiler;
+pub use passes::{
+    AnnealingPlacementPass, AsapSchedulePass, ColorSchedulePass, CommutationRoutingPass,
+    OrderedRoutingPass, PlacementPass,
+};
 pub use paulihedral::PaulihedralCompiler;
+pub use registry::{CompilerRegistry, RegistryOptions};
 pub use result::BaselineResult;

@@ -5,8 +5,11 @@
 //! circuit scheduled with the graph-colouring scheduler on an all-to-all
 //! topology (§III-D, "Scheduling without dependency").
 
+use crate::passes::ColorSchedulePass;
 use crate::result::BaselineResult;
-use twoqan_circuit::{Circuit, Gate, HardwareMetrics, ScheduledCircuit};
+use twoqan::pipeline::{ensure_fits, CompilationContext, CompiledOutput, Compiler, PassManager};
+use twoqan::{CompileError, DecomposePass, UnifyPass};
+use twoqan_circuit::{Circuit, Gate, ScheduledCircuit};
 use twoqan_device::{Device, TwoQubitBasis};
 use twoqan_graphs::coloring::{greedy_coloring, ColoringStrategy};
 use twoqan_graphs::Graph;
@@ -21,26 +24,61 @@ impl NoMapCompiler {
         Self
     }
 
+    /// The (deviceless) pass pipeline this compiler runs.
+    pub fn pipeline(&self) -> PassManager {
+        PassManager::with_passes(vec![
+            Box::new(UnifyPass),
+            Box::new(ColorSchedulePass),
+            Box::new(DecomposePass),
+        ])
+    }
+
     /// Schedules the (circuit-unified) input with graph colouring, assuming
     /// all-to-all connectivity, and reports metrics for `basis`.
     pub fn compile(&self, circuit: &Circuit, basis: TwoQubitBasis) -> BaselineResult {
-        let unified = circuit.unify_same_pair_gates();
-        let schedule = color_schedule(&unified);
-        let metrics = HardwareMetrics::of(&schedule, basis.cost_model());
-        BaselineResult {
-            compiler: "NoMap".into(),
-            hardware_circuit: schedule,
-            metrics,
-            basis,
-            // No topology, no routing: qubit i stays qubit i.
-            initial_placement: Some((0..circuit.num_qubits()).collect()),
-        }
+        self.compile_output(circuit, basis)
+            .expect("the deviceless NoMap pipeline cannot fail")
+            .into()
+    }
+
+    /// Like [`NoMapCompiler::compile`] but returns the full
+    /// [`CompiledOutput`] with the pipeline report.
+    pub fn compile_output(
+        &self,
+        circuit: &Circuit,
+        basis: TwoQubitBasis,
+    ) -> Result<CompiledOutput, CompileError> {
+        let mut ctx = CompilationContext::deviceless(circuit.clone(), basis);
+        let report = self.pipeline().run(&mut ctx)?;
+        // No topology, no routing: the colour-schedule pass installed the
+        // identity placement (qubit i stays qubit i).
+        Ok(ctx.into_output(Compiler::name(self), report))
     }
 
     /// Convenience: compile against a device's default basis (the topology
     /// is ignored — that is the point of this baseline).
     pub fn compile_for_device(&self, circuit: &Circuit, device: &Device) -> BaselineResult {
         self.compile(circuit, device.default_basis())
+    }
+}
+
+impl Compiler for NoMapCompiler {
+    fn name(&self) -> &'static str {
+        "NoMap"
+    }
+
+    fn constrains_connectivity(&self) -> bool {
+        false
+    }
+
+    fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledOutput, CompileError> {
+        // The trait contract still requires the circuit to fit the device —
+        // a placement onto qubits the device does not have would poison any
+        // downstream per-physical-qubit indexing — but beyond the size
+        // check the device only contributes its native basis: the topology
+        // is ignored, which is the point of this baseline.
+        ensure_fits(circuit, device)?;
+        self.compile_output(circuit, device.default_basis())
     }
 }
 
@@ -124,5 +162,34 @@ mod tests {
         let r = NoMapCompiler::new().compile(&Circuit::new(4), TwoQubitBasis::Cnot);
         assert_eq!(r.metrics.hardware_two_qubit_count, 0);
         assert_eq!(r.hardware_circuit.depth(), 0);
+    }
+
+    #[test]
+    fn trait_compile_is_connectivity_unconstrained() {
+        let compiler = NoMapCompiler::new();
+        assert!(!Compiler::constrains_connectivity(&compiler));
+        let circuit = trotter_step(&nnn_ising(10, 1), 1.0);
+        let out = Compiler::compile(&compiler, &circuit, &Device::montreal()).unwrap();
+        assert_eq!(out.compiler, "NoMap");
+        assert_eq!(out.initial_placement, (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            out.final_placement.as_deref(),
+            Some(out.initial_placement.as_slice())
+        );
+        assert_eq!(
+            out.report.pass_names(),
+            vec!["unify", "color-schedule", "decompose"]
+        );
+        // Through the device-based trait entry point the circuit must still
+        // fit the device, like every other registry compiler.
+        let big = trotter_step(&nnn_ising(20, 1), 1.0);
+        let err = Compiler::compile(&compiler, &big, &Device::aspen()).unwrap_err();
+        assert!(matches!(
+            err,
+            twoqan::CompileError::TooManyQubits {
+                circuit: 20,
+                device: 16
+            }
+        ));
     }
 }

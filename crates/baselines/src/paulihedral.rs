@@ -21,6 +21,8 @@
 use crate::generic::{GenericCompiler, GenericConfig};
 use crate::nomap::color_schedule;
 use crate::result::BaselineResult;
+use twoqan::pipeline::{CompiledOutput, Compiler};
+use twoqan::CompileError;
 use twoqan_circuit::{Circuit, Gate};
 use twoqan_device::Device;
 use twoqan_ham::Hamiltonian;
@@ -33,6 +35,15 @@ impl PaulihedralCompiler {
     /// Creates the compiler.
     pub fn new() -> Self {
         Self
+    }
+
+    /// The generic order-respecting configuration Paulihedral routes with.
+    fn generic(&self) -> GenericCompiler {
+        GenericCompiler::new(GenericConfig {
+            line_placement: true,
+            lookahead: 3,
+            name: "Paulihedral-like",
+        })
     }
 
     /// Builds the block-ordered single-Trotter-step circuit of a Hamiltonian:
@@ -72,14 +83,7 @@ impl PaulihedralCompiler {
     /// Compiles an already-built circuit onto a device using block ordering
     /// plus order-respecting routing.
     pub fn compile(&self, circuit: &Circuit, device: &Device) -> BaselineResult {
-        let mut result = GenericCompiler::new(GenericConfig {
-            line_placement: true,
-            lookahead: 3,
-            name: "Paulihedral-like",
-        })
-        .compile(circuit, device);
-        result.compiler = "Paulihedral-like".into();
-        result
+        self.generic().compile(circuit, device)
     }
 
     /// Compiles assuming all-to-all connectivity (the Heisenberg rows of
@@ -108,6 +112,20 @@ impl PaulihedralCompiler {
             // All-to-all connectivity: qubit i stays qubit i.
             initial_placement: Some((0..circuit.num_qubits()).collect()),
         }
+    }
+}
+
+impl Compiler for PaulihedralCompiler {
+    fn name(&self) -> &'static str {
+        "Paulihedral-like"
+    }
+
+    fn order_respecting(&self) -> bool {
+        true
+    }
+
+    fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledOutput, CompileError> {
+        Compiler::compile(&self.generic(), circuit, device)
     }
 }
 

@@ -1,0 +1,162 @@
+//! The workspace-wide compiler registry.
+//!
+//! [`CompilerRegistry::all`] returns one boxed [`Compiler`] per workspace
+//! compiler — 2QAN plus the four baselines (the generic compiler
+//! contributes both its Qiskit-like and t|ket⟩-like configurations) — so
+//! benchmark sweeps, the conformance fuzzer and integration tests dispatch
+//! through the trait instead of hand-rolled per-compiler `match`es.
+
+use crate::{GenericCompiler, IcQaoaCompiler, NoMapCompiler, PaulihedralCompiler};
+use twoqan::pipeline::Compiler;
+use twoqan::{TwoQanCompiler, TwoQanConfig};
+
+/// Optional construction overrides for [`CompilerRegistry::with_options`].
+///
+/// The defaults (`None` everywhere) reproduce each compiler's stock
+/// configuration — the same instances the benchmark figures are generated
+/// with.  The conformance fuzzer overrides both fields to get cheap,
+/// per-case-seeded compilations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryOptions {
+    /// Seed for the stochastic compilers (2QAN's mapping trials, IC-QAOA's
+    /// annealing placement); `None` keeps their stock seeds.
+    pub seed: Option<u64>,
+    /// Override for 2QAN's mapping-trial count; `None` keeps the stock
+    /// count.
+    pub mapping_trials: Option<usize>,
+}
+
+impl RegistryOptions {
+    /// Overrides both the seed and the trial count (the fuzzer's shape:
+    /// one deterministic trial per case).
+    pub fn seeded(seed: u64, mapping_trials: usize) -> Self {
+        Self {
+            seed: Some(seed),
+            mapping_trials: Some(mapping_trials),
+        }
+    }
+}
+
+/// The registry of every compiler in the workspace.
+#[derive(Debug, Clone, Copy)]
+pub struct CompilerRegistry;
+
+impl CompilerRegistry {
+    /// The registered compiler names, in registry order.
+    pub const NAMES: [&'static str; 6] = [
+        "2QAN",
+        "Qiskit-like",
+        "tket-like",
+        "IC-QAOA",
+        "Paulihedral-like",
+        "NoMap",
+    ];
+
+    /// Every workspace compiler in its stock configuration, in
+    /// [`CompilerRegistry::NAMES`] order.
+    pub fn all() -> Vec<Box<dyn Compiler>> {
+        Self::with_options(&RegistryOptions::default())
+    }
+
+    /// Every workspace compiler, with the given construction overrides.
+    pub fn with_options(options: &RegistryOptions) -> Vec<Box<dyn Compiler>> {
+        Self::NAMES
+            .iter()
+            .map(|name| Self::build(name, options).expect("every registry name builds"))
+            .collect()
+    }
+
+    /// Looks a stock-configuration compiler up by display name (constructs
+    /// only the requested compiler).
+    pub fn by_name(name: &str) -> Option<Box<dyn Compiler>> {
+        Self::build(name, &RegistryOptions::default())
+    }
+
+    /// The single construction point of the registry: builds one compiler
+    /// by display name.
+    fn build(name: &str, options: &RegistryOptions) -> Option<Box<dyn Compiler>> {
+        Some(match name {
+            "2QAN" => {
+                let mut config = TwoQanConfig::default();
+                if let Some(seed) = options.seed {
+                    config.seed = seed;
+                }
+                if let Some(trials) = options.mapping_trials {
+                    config.mapping_trials = trials;
+                }
+                Box::new(TwoQanCompiler::new(config))
+            }
+            "Qiskit-like" => Box::new(GenericCompiler::qiskit_like()),
+            "tket-like" => Box::new(GenericCompiler::tket_like()),
+            "IC-QAOA" => Box::new(
+                options
+                    .seed
+                    .map_or_else(IcQaoaCompiler::default, IcQaoaCompiler::new),
+            ),
+            "Paulihedral-like" => Box::new(PaulihedralCompiler::new()),
+            "NoMap" => Box::new(NoMapCompiler::new()),
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoqan_device::Device;
+    use twoqan_ham::{nnn_ising, trotter_step};
+
+    #[test]
+    fn registry_names_are_stable_and_unique() {
+        let all = CompilerRegistry::all();
+        let names: Vec<&str> = all.iter().map(|c| c.name()).collect();
+        assert_eq!(names, CompilerRegistry::NAMES);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn by_name_finds_every_registered_compiler() {
+        for name in CompilerRegistry::NAMES {
+            assert_eq!(
+                CompilerRegistry::by_name(name).map(|c| c.name()),
+                Some(name)
+            );
+        }
+        assert!(CompilerRegistry::by_name("not-a-compiler").is_none());
+    }
+
+    #[test]
+    fn contract_flags_match_each_compiler_class() {
+        for compiler in CompilerRegistry::all() {
+            let order = matches!(
+                compiler.name(),
+                "Qiskit-like" | "tket-like" | "Paulihedral-like"
+            );
+            assert_eq!(compiler.order_respecting(), order, "{}", compiler.name());
+            assert_eq!(
+                compiler.constrains_connectivity(),
+                compiler.name() != "NoMap",
+                "{}",
+                compiler.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_registered_compiler_compiles_a_common_workload() {
+        let circuit = trotter_step(&nnn_ising(8, 5), 1.0);
+        let device = Device::montreal();
+        for compiler in CompilerRegistry::with_options(&RegistryOptions::seeded(3, 1)) {
+            let out = compiler.compile(&circuit, &device).unwrap();
+            assert!(out.metrics.hardware_two_qubit_count > 0, "{}", out.compiler);
+            assert_eq!(out.compiler, compiler.name());
+            if compiler.constrains_connectivity() {
+                assert!(out.hardware_compatible(&device), "{}", out.compiler);
+            }
+            assert!(!out.report.passes.is_empty(), "{}", out.compiler);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Common result type of the baseline compilers.
 
+use twoqan::pipeline::CompiledOutput;
 use twoqan_circuit::{HardwareMetrics, ScheduledCircuit};
 use twoqan_device::{Device, TwoQubitBasis};
 
@@ -59,6 +60,20 @@ impl BaselineResult {
             .iter_gates()
             .filter(|g| g.is_two_qubit())
             .all(|g| device.are_adjacent(g.qubit0(), g.qubit1()))
+    }
+}
+
+impl From<CompiledOutput> for BaselineResult {
+    /// Collapses a pipeline [`CompiledOutput`] into the legacy baseline
+    /// result shape (the pipeline report is dropped).
+    fn from(out: CompiledOutput) -> Self {
+        Self {
+            compiler: out.compiler.to_string(),
+            hardware_circuit: out.hardware_circuit,
+            metrics: out.metrics,
+            basis: out.basis,
+            initial_placement: Some(out.initial_placement),
+        }
     }
 }
 

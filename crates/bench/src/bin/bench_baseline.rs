@@ -3,41 +3,55 @@
 //!
 //! For every size n = 10/20/40/80 it times the three compiler passes
 //! (mapping, routing, scheduling) and the end-to-end pipeline on the same
-//! circuits as the `compiler_passes` criterion bench, and writes the median
-//! wall-clock milliseconds to JSON.  Usage:
+//! circuits as the `compiler_passes` criterion bench, records the per-pass
+//! wall-clock of the instrumented pass pipeline (`passes` section), and
+//! runs the whole size × compiler sweep through the parallel
+//! [`BatchCompiler`] driver (`batch` section, serial vs. parallel
+//! wall-clock).  Usage:
 //!
 //! ```text
-//! cargo run --release -p twoqan-bench --bin bench_baseline [--samples N] [--out PATH]
+//! cargo run --release -p twoqan-bench --bin bench_baseline \
+//!     [--samples N] [--out PATH] [--threads T] [--smoke]
 //! ```
 //!
 //! Defaults: 9 samples per measurement, output to `BENCH_compiler.json` in
-//! the current directory.  See `BENCHMARKS.md` for how to compare a run
-//! against the checked-in baseline.
+//! the current directory, one batch worker per CPU core.  `--smoke` is the
+//! CI mode: sizes 10/20 only, 1 sample.  See `BENCHMARKS.md` for how to
+//! compare a run against the checked-in baseline.
 
 use std::time::Instant;
 use twoqan::mapping::{initial_mapping, InitialMappingStrategy};
 use twoqan::routing::{route, RoutingConfig};
 use twoqan::scheduling::{schedule, SchedulingStrategy};
-use twoqan::{TwoQanCompiler, TwoQanConfig};
+use twoqan::{BatchCompiler, BatchJob, TwoQanCompiler, TwoQanConfig};
+use twoqan_baselines::CompilerRegistry;
 use twoqan_bench::{scaling_device, SCALING_SIZES};
+use twoqan_circuit::Circuit;
+use twoqan_device::Device;
 use twoqan_ham::{nnn_heisenberg, trotter_step};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Median of a sample vector (sorted in place).
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
 /// Median wall-clock milliseconds of `samples` runs of `f`.
 fn median_ms<F: FnMut()>(samples: usize, mut f: F) -> f64 {
     // One warm-up run (populates the device distance cache etc.).
     f();
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
-    times[times.len() / 2]
+    median(
+        (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    )
 }
 
 struct Entry {
@@ -47,6 +61,8 @@ struct Entry {
     routing_ms: f64,
     scheduling_ms: f64,
     end_to_end_ms: f64,
+    /// `(pass name, median wall-clock ms)` from the instrumented pipeline.
+    passes: Vec<(&'static str, f64)>,
 }
 
 fn measure(n: usize, samples: usize) -> Entry {
@@ -95,6 +111,30 @@ fn measure(n: usize, samples: usize) -> Entry {
         compiler.compile(&circuit, &device).unwrap();
     });
 
+    // Per-pass wall-clock from the instrumented pipeline (median per pass
+    // over the same sample count).
+    let mut per_pass: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for sample in 0..=samples {
+        let (_, report) = compiler.compile_with_report(&circuit, &device).unwrap();
+        if sample == 0 {
+            // Warm-up run; also fixes the pass list.
+            per_pass = report
+                .passes
+                .iter()
+                .map(|p| (p.name, Vec::with_capacity(samples)))
+                .collect();
+            continue;
+        }
+        for (slot, record) in per_pass.iter_mut().zip(&report.passes) {
+            debug_assert_eq!(slot.0, record.name);
+            slot.1.push(record.wall_ms);
+        }
+    }
+    let passes = per_pass
+        .into_iter()
+        .map(|(name, samples)| (name, median(samples)))
+        .collect();
+
     Entry {
         n,
         device: device.name().to_string(),
@@ -102,12 +142,71 @@ fn measure(n: usize, samples: usize) -> Entry {
         routing_ms,
         scheduling_ms,
         end_to_end_ms,
+        passes,
+    }
+}
+
+struct BatchNumbers {
+    jobs: usize,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+/// Runs the whole size × compiler sweep (every registry compiler on every
+/// scaling size) through the batch driver, serial and parallel, and checks
+/// that both orderings agree.
+fn measure_batch(sizes: &[usize], samples: usize, threads: usize) -> BatchNumbers {
+    let inputs: Vec<(Circuit, Device)> = sizes
+        .iter()
+        .map(|&n| (trotter_step(&nnn_heisenberg(n, 1), 1.0), scaling_device(n)))
+        .collect();
+    let compilers = CompilerRegistry::all();
+    let jobs: Vec<BatchJob<'_>> = inputs
+        .iter()
+        .flat_map(|(circuit, device)| {
+            compilers.iter().map(move |compiler| BatchJob {
+                circuit,
+                device,
+                compiler: compiler.as_ref(),
+            })
+        })
+        .collect();
+
+    let serial_driver = BatchCompiler::new(1);
+    let parallel_driver = BatchCompiler::new(threads);
+    let serial_results = serial_driver.compile_batch(&jobs);
+    let parallel_results = parallel_driver.compile_batch(&jobs);
+    for (i, (s, p)) in serial_results.iter().zip(&parallel_results).enumerate() {
+        let (s, p) = (
+            s.as_ref().expect("bench circuits fit"),
+            p.as_ref().expect("bench circuits fit"),
+        );
+        assert_eq!(
+            s.metrics, p.metrics,
+            "batch job {i} diverged between serial and parallel runs"
+        );
+    }
+
+    let serial_ms = median_ms(samples, || {
+        serial_driver.compile_batch(&jobs);
+    });
+    let parallel_ms = median_ms(samples, || {
+        parallel_driver.compile_batch(&jobs);
+    });
+    BatchNumbers {
+        jobs: jobs.len(),
+        threads: parallel_driver.resolved_threads(jobs.len()),
+        serial_ms,
+        parallel_ms,
     }
 }
 
 fn main() {
     let mut samples = 9usize;
     let mut out = String::from("BENCH_compiler.json");
+    let mut threads = 0usize; // 0 = one worker per core
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -120,17 +219,38 @@ fn main() {
                     }
                 };
             }
+            "--threads" => {
+                threads = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--threads needs an integer (0 = one per core)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--smoke" => {
+                smoke = true;
+            }
             "--out" => {
                 out = args.next().expect("--out needs a path");
             }
             other => {
-                eprintln!("unknown argument {other}; supported: --samples N, --out PATH");
+                eprintln!(
+                    "unknown argument {other}; supported: --samples N, --threads T, --smoke, --out PATH"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let sizes: Vec<usize> = if smoke {
+        samples = 1;
+        SCALING_SIZES.iter().copied().take(2).collect()
+    } else {
+        SCALING_SIZES.to_vec()
+    };
 
-    let entries: Vec<Entry> = SCALING_SIZES.iter().map(|&n| measure(n, samples)).collect();
+    let entries: Vec<Entry> = sizes.iter().map(|&n| measure(n, samples)).collect();
+    let batch = measure_batch(&sizes, samples, threads);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -140,18 +260,34 @@ fn main() {
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let passes = e
+            .passes
+            .iter()
+            .map(|(name, ms)| format!("{{\"name\": \"{name}\", \"ms\": {ms:.3}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"n\": {}, \"device\": \"{}\", \"mapping_ms\": {:.3}, \"routing_ms\": {:.3}, \"scheduling_ms\": {:.3}, \"end_to_end_ms\": {:.3}}}{}\n",
+            "    {{\"n\": {}, \"device\": \"{}\", \"mapping_ms\": {:.3}, \"routing_ms\": {:.3}, \"scheduling_ms\": {:.3}, \"end_to_end_ms\": {:.3}, \"passes\": [{}]}}{}\n",
             e.n,
             e.device,
             e.mapping_ms,
             e.routing_ms,
             e.scheduling_ms,
             e.end_to_end_ms,
+            passes,
             if i + 1 == entries.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"batch\": {{\"jobs\": {}, \"compilers\": {}, \"threads\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.2}}}\n",
+        batch.jobs,
+        CompilerRegistry::NAMES.len(),
+        batch.threads,
+        batch.serial_ms,
+        batch.parallel_ms,
+        batch.serial_ms / batch.parallel_ms.max(1e-9)
+    ));
     json.push_str("}\n");
 
     std::fs::write(&out, &json).expect("writing the baseline file");

@@ -1,7 +1,11 @@
 //! A uniform interface over 2QAN and the baseline compilers.
+//!
+//! Compilation dispatch goes through `twoqan_baselines::CompilerRegistry`
+//! — [`CompilerKind`] only names the registry entries the paper's figures
+//! compare and carries the figure-specific compiler sets.
 
-use twoqan::{TwoQanCompiler, TwoQanConfig};
-use twoqan_baselines::{GenericCompiler, IcQaoaCompiler, NoMapCompiler, PaulihedralCompiler};
+use twoqan::pipeline::{CompiledOutput, Compiler};
+use twoqan_baselines::CompilerRegistry;
 use twoqan_circuit::{Circuit, HardwareMetrics, ScheduledCircuit};
 use twoqan_device::Device;
 
@@ -41,7 +45,7 @@ impl CompilerKind {
         CompilerKind::TwoQan,
     ];
 
-    /// Display name used in tables and CSV files.
+    /// Display name used in tables and CSV files (matches the registry).
     pub fn name(&self) -> &'static str {
         match self {
             CompilerKind::TwoQan => "2QAN",
@@ -53,6 +57,20 @@ impl CompilerKind {
         }
     }
 
+    /// The stock-configuration registry entry for this kind.
+    pub fn compiler(&self) -> Box<dyn Compiler> {
+        CompilerRegistry::by_name(self.name())
+            .expect("every CompilerKind has a registry entry of the same name")
+    }
+
+    /// Compiles `circuit` for `device` through the registry and returns the
+    /// full [`CompiledOutput`] (placements, per-pass report, metrics).
+    pub fn compile_output(&self, circuit: &Circuit, device: &Device) -> CompiledOutput {
+        self.compiler()
+            .compile(circuit, device)
+            .expect("benchmark circuits fit on their devices")
+    }
+
     /// Compiles `circuit` for `device` and returns the scheduled hardware
     /// circuit together with its metrics for the device's default basis.
     pub fn compile(
@@ -60,34 +78,8 @@ impl CompilerKind {
         circuit: &Circuit,
         device: &Device,
     ) -> (ScheduledCircuit, HardwareMetrics) {
-        match self {
-            CompilerKind::TwoQan => {
-                let result = TwoQanCompiler::new(TwoQanConfig::default())
-                    .compile(circuit, device)
-                    .expect("benchmark circuits fit on their devices");
-                (result.hardware_circuit, result.metrics)
-            }
-            CompilerKind::TketLike => {
-                let r = GenericCompiler::tket_like().compile(circuit, device);
-                (r.hardware_circuit, r.metrics)
-            }
-            CompilerKind::QiskitLike => {
-                let r = GenericCompiler::qiskit_like().compile(circuit, device);
-                (r.hardware_circuit, r.metrics)
-            }
-            CompilerKind::IcQaoa => {
-                let r = IcQaoaCompiler::default().compile(circuit, device);
-                (r.hardware_circuit, r.metrics)
-            }
-            CompilerKind::Paulihedral => {
-                let r = PaulihedralCompiler::new().compile(circuit, device);
-                (r.hardware_circuit, r.metrics)
-            }
-            CompilerKind::NoMap => {
-                let r = NoMapCompiler::new().compile_for_device(circuit, device);
-                (r.hardware_circuit, r.metrics)
-            }
-        }
+        let out = self.compile_output(circuit, device);
+        (out.hardware_circuit, out.metrics)
     }
 }
 
@@ -129,6 +121,36 @@ pub struct MetricsRow {
     pub baseline_two_qubit_depth: usize,
 }
 
+/// One CSV column of [`MetricsRow`]: its header name and value accessor.
+type MetricsRowField = (&'static str, fn(&MetricsRow) -> String);
+
+/// The single source of truth for [`MetricsRow`] CSV serialisation: one
+/// `(column name, accessor)` pair per field, so the header and the rows
+/// cannot drift apart when columns are added.
+const METRICS_ROW_FIELDS: &[MetricsRowField] = &[
+    ("workload", |r| r.workload.clone()),
+    ("device", |r| r.device.clone()),
+    ("basis", |r| r.basis.clone()),
+    ("compiler", |r| r.compiler.clone()),
+    ("qubits", |r| r.qubits.to_string()),
+    ("instance", |r| r.instance.to_string()),
+    ("swaps", |r| r.swaps.to_string()),
+    ("dressed_swaps", |r| r.dressed_swaps.to_string()),
+    ("hw_two_qubit_gates", |r| {
+        r.hardware_two_qubit_gates.to_string()
+    }),
+    ("hw_two_qubit_depth", |r| {
+        r.hardware_two_qubit_depth.to_string()
+    }),
+    ("total_depth", |r| r.total_depth.to_string()),
+    ("nomap_two_qubit_gates", |r| {
+        r.baseline_two_qubit_gates.to_string()
+    }),
+    ("nomap_two_qubit_depth", |r| {
+        r.baseline_two_qubit_depth.to_string()
+    }),
+];
+
 impl MetricsRow {
     /// Builds a row from computed metrics.
     #[allow(clippy::too_many_arguments)]
@@ -168,29 +190,24 @@ impl MetricsRow {
         self.hardware_two_qubit_depth as f64 - self.baseline_two_qubit_depth as f64
     }
 
-    /// The CSV header matching [`MetricsRow::csv_line`].
-    pub fn csv_header() -> &'static str {
-        "workload,device,basis,compiler,qubits,instance,swaps,dressed_swaps,hw_two_qubit_gates,hw_two_qubit_depth,total_depth,nomap_two_qubit_gates,nomap_two_qubit_depth"
+    /// The CSV header matching [`MetricsRow::csv_line`] (derived from the
+    /// same field list).
+    pub fn csv_header() -> String {
+        METRICS_ROW_FIELDS
+            .iter()
+            .map(|(name, _)| *name)
+            .collect::<Vec<_>>()
+            .join(",")
     }
 
-    /// The row serialised as a CSV line.
+    /// The row serialised as a CSV line (derived from the same field list
+    /// as [`MetricsRow::csv_header`]).
     pub fn csv_line(&self) -> String {
-        format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            self.workload,
-            self.device,
-            self.basis,
-            self.compiler,
-            self.qubits,
-            self.instance,
-            self.swaps,
-            self.dressed_swaps,
-            self.hardware_two_qubit_gates,
-            self.hardware_two_qubit_depth,
-            self.total_depth,
-            self.baseline_two_qubit_gates,
-            self.baseline_two_qubit_depth
-        )
+        METRICS_ROW_FIELDS
+            .iter()
+            .map(|(_, get)| get(self))
+            .collect::<Vec<_>>()
+            .join(",")
     }
 }
 
@@ -247,10 +264,37 @@ mod tests {
     }
 
     #[test]
+    fn csv_header_is_stable_and_cannot_drift_from_rows() {
+        // The golden result CSVs pin this exact header; the shared field
+        // list guarantees header/row agreement by construction.
+        assert_eq!(
+            MetricsRow::csv_header(),
+            "workload,device,basis,compiler,qubits,instance,swaps,dressed_swaps,\
+             hw_two_qubit_gates,hw_two_qubit_depth,total_depth,\
+             nomap_two_qubit_gates,nomap_two_qubit_depth"
+        );
+        assert_eq!(
+            METRICS_ROW_FIELDS.len(),
+            MetricsRow::csv_header().split(',').count()
+        );
+    }
+
+    #[test]
     fn compiler_names_are_stable() {
         assert_eq!(CompilerKind::TwoQan.to_string(), "2QAN");
         assert_eq!(CompilerKind::NoMap.name(), "NoMap");
         assert_eq!(CompilerKind::GENERAL.len(), 4);
         assert_eq!(CompilerKind::QAOA.len(), 5);
+    }
+
+    #[test]
+    fn compile_output_exposes_placements_and_pass_report() {
+        let w = Workload::generate(WorkloadKind::NnnIsing, 8, 0);
+        let device = Device::aspen();
+        let out = CompilerKind::TwoQan.compile_output(&w.circuit, &device);
+        assert_eq!(out.compiler, "2QAN");
+        assert_eq!(out.initial_placement.len(), 8);
+        assert!(out.final_placement.is_some());
+        assert!(out.report.pass_ms("qap-mapping").is_some());
     }
 }

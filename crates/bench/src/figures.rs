@@ -78,7 +78,7 @@ pub fn run_compilation_sweep(
 /// as CSV.  Returns the rendered tables.
 pub fn report_figure(figure: &str, device: &Device, rows: &[MetricsRow]) -> Vec<Table> {
     let lines: Vec<String> = rows.iter().map(MetricsRow::csv_line).collect();
-    let path = write_csv(figure, MetricsRow::csv_header(), &lines);
+    let path = write_csv(figure, &MetricsRow::csv_header(), &lines);
     println!("wrote {} rows to {}", rows.len(), path.display());
 
     let mut tables = Vec::new();

@@ -3,6 +3,10 @@
 use twoqan_circuit::Circuit;
 use twoqan_device::{Device, TwoQubitBasis};
 use twoqan_ham::{nnn_heisenberg, nnn_ising, nnn_xy, trotter_step, QaoaProblem};
+// The model constructors are shared with `twoqan_verify::workloads` — both
+// re-export them from `twoqan-ham`, the single home of the benchmark-model
+// builders.
+pub use twoqan_ham::{heisenberg_on_edges, transverse_ising_on_edges, xy_on_edges, zz_on_edges};
 
 /// The problem sizes of the §V-D compiler-pass scalability sweep, shared by
 /// the `compiler_passes` criterion bench and the `bench_baseline` binary so

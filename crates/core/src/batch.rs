@@ -1,0 +1,191 @@
+//! The parallel batch-compilation driver.
+//!
+//! Benchmark sweeps compile hundreds of (workload × device × compiler)
+//! combinations; [`BatchCompiler`] fans a job list out across
+//! `std::thread::scope` workers while keeping the result order identical to
+//! the job order (and therefore identical to a serial run), so sweeps stay
+//! reproducible regardless of thread count.
+
+use crate::error::CompileError;
+use crate::pipeline::{CompiledOutput, Compiler};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use twoqan_circuit::Circuit;
+use twoqan_device::Device;
+
+/// One compilation job of a batch: a circuit, a target device and the
+/// compiler to run.
+#[derive(Clone, Copy)]
+pub struct BatchJob<'a> {
+    /// The application circuit to compile.
+    pub circuit: &'a Circuit,
+    /// The target device.
+    pub device: &'a Device,
+    /// The compiler to run the job through.
+    pub compiler: &'a dyn Compiler,
+}
+
+impl std::fmt::Debug for BatchJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchJob")
+            .field("compiler", &self.compiler.name())
+            .field("device", &self.device.name())
+            .field("qubits", &self.circuit.num_qubits())
+            .finish()
+    }
+}
+
+/// A multi-threaded batch driver with deterministic result ordering.
+///
+/// Workers claim jobs from a shared counter and write each result into the
+/// slot matching its job index, so `compile_batch(jobs)[i]` is always the
+/// result of `jobs[i]` — bit-identical to a serial run — independent of the
+/// thread count and of scheduling jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchCompiler {
+    threads: usize,
+}
+
+impl Default for BatchCompiler {
+    /// One worker per available CPU core.
+    fn default() -> Self {
+        Self { threads: 0 }
+    }
+}
+
+impl BatchCompiler {
+    /// Creates a driver with the given worker count (`0` = one worker per
+    /// available CPU core).
+    pub fn new(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// The worker count a batch of `jobs` jobs would use.
+    pub fn resolved_threads(&self, jobs: usize) -> usize {
+        let hw = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        hw.min(jobs).max(1)
+    }
+
+    /// Compiles every job, in parallel, returning one result per job in job
+    /// order.
+    pub fn compile_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+    ) -> Vec<Result<CompiledOutput, CompileError>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.resolved_threads(jobs.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<CompiledOutput, CompileError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let result = job.compiler.compile(job.circuit, job.device);
+                    *slots[i].lock().expect("no worker panics while writing") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("scope joined all workers")
+                    .expect("every job index below jobs.len() was claimed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TwoQanCompiler, TwoQanConfig};
+    use twoqan_ham::{nnn_heisenberg, nnn_ising, trotter_step};
+
+    fn compiler() -> TwoQanCompiler {
+        TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 1,
+            ..TwoQanConfig::default()
+        })
+    }
+
+    #[test]
+    fn batch_results_keep_job_order_for_any_thread_count() {
+        let device = Device::montreal();
+        let circuits: Vec<Circuit> = (0..6)
+            .map(|s| trotter_step(&nnn_ising(6 + s % 3, s as u64), 1.0))
+            .collect();
+        let compiler = compiler();
+        let jobs: Vec<BatchJob<'_>> = circuits
+            .iter()
+            .map(|c| BatchJob {
+                circuit: c,
+                device: &device,
+                compiler: &compiler,
+            })
+            .collect();
+        let serial = BatchCompiler::new(1).compile_batch(&jobs);
+        let parallel = BatchCompiler::new(4).compile_batch(&jobs);
+        assert_eq!(serial.len(), jobs.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.metrics, p.metrics, "job {i}");
+            assert_eq!(s.hardware_circuit, p.hardware_circuit, "job {i}");
+            assert_eq!(s.initial_placement, p.initial_placement, "job {i}");
+        }
+    }
+
+    #[test]
+    fn failing_jobs_report_their_error_in_place() {
+        let device = Device::aspen(); // 16 qubits
+        let fits = trotter_step(&nnn_ising(8, 1), 1.0);
+        let too_big = trotter_step(&nnn_heisenberg(20, 1), 1.0);
+        let compiler = compiler();
+        let jobs = [
+            BatchJob {
+                circuit: &fits,
+                device: &device,
+                compiler: &compiler,
+            },
+            BatchJob {
+                circuit: &too_big,
+                device: &device,
+                compiler: &compiler,
+            },
+            BatchJob {
+                circuit: &fits,
+                device: &device,
+                compiler: &compiler,
+            },
+        ];
+        let results = BatchCompiler::new(2).compile_batch(&jobs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(CompileError::TooManyQubits { .. })
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn thread_resolution_is_bounded_by_jobs() {
+        let b = BatchCompiler::new(8);
+        assert_eq!(b.resolved_threads(3), 3);
+        assert_eq!(b.resolved_threads(100), 8);
+        assert_eq!(BatchCompiler::new(1).resolved_threads(10), 1);
+        assert!(BatchCompiler::default().resolved_threads(64) >= 1);
+        assert!(BatchCompiler::new(0).resolved_threads(0) >= 1);
+        assert!(BatchCompiler::default().compile_batch(&[]).is_empty());
+    }
+}

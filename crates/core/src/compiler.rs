@@ -1,12 +1,15 @@
 //! The end-to-end 2QAN compilation pipeline.
 
-use crate::decompose::hardware_metrics;
 use crate::error::CompileError;
-use crate::mapping::{initial_mapping_with, InitialMappingStrategy, MappingConfig, QubitMap};
-use crate::routing::{route, RoutedCircuit, RoutingConfig};
-use crate::scheduling::{schedule, SchedulingStrategy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::mapping::{InitialMappingStrategy, MappingConfig, QubitMap};
+use crate::passes::{
+    AlapSchedulePass, DecomposePass, PermutationRoutingPass, QapMappingPass, UnifyPass,
+};
+use crate::pipeline::{
+    CompilationContext, CompiledOutput, Compiler, PassManager, PassRecord, PipelineReport,
+};
+use crate::routing::{RoutedCircuit, RoutingConfig};
+use crate::scheduling::SchedulingStrategy;
 use twoqan_circuit::{Circuit, Gate, GateKind, HardwareMetrics, Moment, ScheduledCircuit};
 use twoqan_device::{Device, TwoQubitBasis};
 use twoqan_graphs::{AnnealingConfig, TabuConfig};
@@ -65,7 +68,7 @@ impl TwoQanConfig {
 }
 
 /// The output of a 2QAN compilation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompilationResult {
     /// The initial qubit placement `φ_0`.
     pub initial_map: QubitMap,
@@ -180,6 +183,25 @@ impl TwoQanCompiler {
         &self.config
     }
 
+    /// The pass pipeline this configuration describes: `[unify,
+    /// qap-mapping, permutation-routing, alap-schedule, decompose]` (the
+    /// unifying pre-pass is dropped when `unify_input` is off).
+    ///
+    /// [`TwoQanCompiler::compile_with_report`] hoists the deterministic
+    /// unify pre-pass out of its mapping-trial loop; this method returns
+    /// the full conceptual pipeline for introspection and one-shot runs.
+    pub fn pipeline(&self) -> PassManager {
+        let mut passes: Vec<Box<dyn crate::pipeline::Pass>> = Vec::with_capacity(5);
+        if self.config.unify_input {
+            passes.push(Box::new(UnifyPass));
+        }
+        passes.push(Box::new(QapMappingPass::new(self.config.mapping_config())));
+        passes.push(Box::new(PermutationRoutingPass::new(self.config.routing)));
+        passes.push(Box::new(AlapSchedulePass::new(self.config.scheduling)));
+        passes.push(Box::new(DecomposePass));
+        PassManager::with_passes(passes)
+    }
+
     /// Compiles one Trotter step / QAOA layer onto a device.
     ///
     /// # Errors
@@ -192,26 +214,68 @@ impl TwoQanCompiler {
         circuit: &Circuit,
         device: &Device,
     ) -> Result<CompilationResult, CompileError> {
-        let prepared = if self.config.unify_input {
-            circuit.unify_same_pair_gates()
-        } else {
-            circuit.clone()
-        };
+        self.compile_with_report(circuit, device)
+            .map(|(result, _)| result)
+    }
+
+    /// Compiles like [`TwoQanCompiler::compile`] and also returns the
+    /// per-pass [`PipelineReport`].  The pipeline is run once per mapping
+    /// trial (each with its own seed) and the result with the fewest SWAPs
+    /// (then fewest hardware gates, then lowest depth) is kept; the report
+    /// sums wall-clock per pass over all trials and snapshots gate/depth
+    /// from the winning trial.  The deterministic unifying pre-pass is
+    /// hoisted out of the trial loop (it would produce the same circuit
+    /// every trial), so its report entry is a single measurement.
+    pub fn compile_with_report(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+    ) -> Result<(CompilationResult, PipelineReport), CompileError> {
         let trials = self.config.mapping_trials.max(1);
-        let mapping_config = self.config.mapping_config();
+        // Unify once, up front: the pre-pass draws no randomness, so every
+        // trial would redo identical work.
+        let (prepared, unify_record) = if self.config.unify_input {
+            let gates_before = circuit.two_qubit_gate_count();
+            let t0 = std::time::Instant::now();
+            let unified = circuit.unify_same_pair_gates();
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let record = PassRecord {
+                name: "unify",
+                wall_ms,
+                two_qubit_gates_after: unified.two_qubit_gate_count(),
+                depth_after: 0,
+                gate_delta: unified.two_qubit_gate_count() as isize - gates_before as isize,
+                depth_delta: 0,
+            };
+            (unified, Some(record))
+        } else {
+            (circuit.clone(), None)
+        };
+        let pipeline = PassManager::with_passes(vec![
+            Box::new(QapMappingPass::new(self.config.mapping_config())),
+            Box::new(PermutationRoutingPass::new(self.config.routing)),
+            Box::new(AlapSchedulePass::new(self.config.scheduling)),
+            Box::new(DecomposePass),
+        ]);
         let mut best: Option<CompilationResult> = None;
+        let mut report = PipelineReport::default();
         for trial in 0..trials {
-            let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(trial as u64));
-            let map = initial_mapping_with(&prepared, device, &mapping_config, &mut rng)?;
-            let routed = route(&prepared, device, &map, &self.config.routing, &mut rng)?;
-            let hardware_circuit = schedule(&routed, device, self.config.scheduling);
-            let metrics = hardware_metrics(&hardware_circuit, device.default_basis());
+            let mut ctx = CompilationContext::for_device(
+                prepared.clone(),
+                device,
+                self.config.seed.wrapping_add(trial as u64),
+            );
+            let trial_report = pipeline.run(&mut ctx)?;
             let candidate = CompilationResult {
-                initial_map: map,
-                routed,
-                hardware_circuit,
-                metrics,
-                basis: device.default_basis(),
+                initial_map: ctx
+                    .initial_layout
+                    .expect("the mapping pass sets the initial layout"),
+                routed: ctx
+                    .routed
+                    .expect("the routing pass sets the routed circuit"),
+                hardware_circuit: ctx.schedule.expect("the scheduling pass sets the schedule"),
+                metrics: ctx.metrics.expect("the decompose pass sets the metrics"),
+                basis: ctx.basis,
             };
             let better = match &best {
                 None => true,
@@ -227,11 +291,35 @@ impl TwoQanCompiler {
                     )
                 }
             };
+            report.absorb_trial(&trial_report, better);
             if better {
                 best = Some(candidate);
             }
         }
-        Ok(best.expect("at least one trial is always run"))
+        if let Some(record) = unify_record {
+            report.total_ms += record.wall_ms;
+            report.passes.insert(0, record);
+        }
+        Ok((best.expect("at least one trial is always run"), report))
+    }
+}
+
+impl Compiler for TwoQanCompiler {
+    fn name(&self) -> &'static str {
+        "2QAN"
+    }
+
+    fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledOutput, CompileError> {
+        let (result, report) = self.compile_with_report(circuit, device)?;
+        Ok(CompiledOutput {
+            compiler: Compiler::name(self),
+            initial_placement: result.initial_map.assignment().to_vec(),
+            final_placement: Some(result.routed.final_map().assignment().to_vec()),
+            hardware_circuit: result.hardware_circuit,
+            metrics: result.metrics,
+            basis: result.basis,
+            report,
+        })
     }
 }
 

@@ -29,6 +29,22 @@ pub enum CompileError {
         /// Number of two-qubit gates that could not be routed.
         remaining_gates: usize,
     },
+    /// A pipeline pass was run before a pass that produces its input (e.g.
+    /// routing before placement); names the pass and what it was missing.
+    MissingPrerequisite {
+        /// The pass that could not run.
+        pass: &'static str,
+        /// What the pass needed from the context.
+        needs: &'static str,
+    },
+    /// A pipeline pass failed for a pass-specific reason; carries the pass
+    /// name so pipeline failures are attributable without a backtrace.
+    PassFailed {
+        /// The pass that failed.
+        pass: &'static str,
+        /// Human-readable failure description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -45,6 +61,12 @@ impl fmt::Display for CompileError {
                 f,
                 "routing could not place {remaining_gates} remaining two-qubit gates"
             ),
+            CompileError::MissingPrerequisite { pass, needs } => {
+                write!(f, "pass {pass} needs {needs}")
+            }
+            CompileError::PassFailed { pass, reason } => {
+                write!(f, "pass {pass} failed: {reason}")
+            }
         }
     }
 }
@@ -70,6 +92,18 @@ mod tests {
         assert!(e.to_string().contains("exact CNOT decomposition"));
         let e = CompileError::RoutingStuck { remaining_gates: 3 };
         assert!(e.to_string().contains('3'));
+        let e = CompileError::MissingPrerequisite {
+            pass: "alap-schedule",
+            needs: "a routed circuit",
+        };
+        assert!(e.to_string().contains("alap-schedule"));
+        assert!(e.to_string().contains("a routed circuit"));
+        let e = CompileError::PassFailed {
+            pass: "qap-mapping",
+            reason: "solver budget exhausted".into(),
+        };
+        assert!(e.to_string().contains("qap-mapping"));
+        assert!(e.to_string().contains("solver budget exhausted"));
     }
 
     #[test]

@@ -23,6 +23,20 @@
 //! The [`TwoQanCompiler`] type runs the whole pipeline and returns a
 //! [`CompilationResult`] with the hardware circuit and its metrics.
 //!
+//! # Architecture
+//!
+//! Since the pass-pipeline refactor, the stages above are standalone
+//! [`Pass`]es (`[UnifyPass, QapMappingPass, PermutationRoutingPass,
+//! AlapSchedulePass, DecomposePass]`, see [`passes`]) run by a
+//! [`PassManager`] over a shared [`CompilationContext`] ([`pipeline`]);
+//! every run is instrumented into a [`PipelineReport`] with per-pass
+//! wall-clock and gate/depth deltas.  The [`Compiler`] trait is the uniform
+//! entry point over 2QAN and the `twoqan_baselines` compilers (dispatch
+//! happens through `twoqan_baselines::CompilerRegistry`), and
+//! [`BatchCompiler`] ([`batch`]) fans whole workload × device × compiler
+//! sweeps out across `std::thread::scope` workers with deterministic result
+//! ordering.
+//!
 //! # Example
 //!
 //! ```
@@ -41,14 +55,25 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod compiler;
 pub mod decompose;
 pub mod error;
 pub mod mapping;
+pub mod passes;
+pub mod pipeline;
 pub mod routing;
 pub mod scheduling;
 
+pub use batch::{BatchCompiler, BatchJob};
 pub use compiler::{CompilationResult, TwoQanCompiler, TwoQanConfig};
 pub use error::CompileError;
 pub use mapping::{InitialMappingStrategy, MappingConfig, QubitMap};
+pub use passes::{
+    AlapSchedulePass, DecomposePass, PermutationRoutingPass, QapMappingPass, UnifyPass,
+};
+pub use pipeline::{
+    ensure_fits, CompilationContext, CompiledOutput, Compiler, Pass, PassManager, PassRecord,
+    PipelineReport,
+};
 pub use routing::{RoutedCircuit, RoutingConfig, RoutingStage, SwapAction};

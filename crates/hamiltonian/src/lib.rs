@@ -25,6 +25,9 @@ pub mod qaoa;
 pub mod trotter;
 
 pub use hamiltonian::{Hamiltonian, SingleQubitTerm, TwoQubitTerm};
-pub use models::{heisenberg_lattice, nnn_heisenberg, nnn_ising, nnn_xy, LatticeDimensions};
+pub use models::{
+    heisenberg_lattice, heisenberg_on_edges, nnn_heisenberg, nnn_ising, nnn_xy,
+    transverse_ising_on_edges, xy_on_edges, zz_on_edges, LatticeDimensions,
+};
 pub use qaoa::QaoaProblem;
 pub use trotter::{trotter_step, trotterize};

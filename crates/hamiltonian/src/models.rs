@@ -33,22 +33,83 @@ fn nnn_chain_edges(n: usize) -> Vec<(usize, usize)> {
     edges
 }
 
+/// A Heisenberg model `H = Σ (α_uv X_uX_v + β_uv Y_uY_v + γ_uv Z_uZ_v)` on
+/// an arbitrary edge list.  `coeff` is called three times per edge, in
+/// `(α, β, γ)` order, so callers control both the distribution and the
+/// determinism of the couplings.
+pub fn heisenberg_on_edges(
+    n: usize,
+    edges: &[(usize, usize)],
+    mut coeff: impl FnMut() -> f64,
+) -> Hamiltonian {
+    let mut h = Hamiltonian::new(n);
+    for &(u, v) in edges {
+        let alpha = coeff();
+        let beta = coeff();
+        let gamma = coeff();
+        h.add_two_qubit_term(u, v, alpha, beta, gamma);
+    }
+    h
+}
+
+/// An XY model `H = Σ (α_uv X_uX_v + β_uv Y_uY_v)` on an arbitrary edge
+/// list.  `coeff` is called twice per edge, in `(α, β)` order.
+pub fn xy_on_edges(
+    n: usize,
+    edges: &[(usize, usize)],
+    mut coeff: impl FnMut() -> f64,
+) -> Hamiltonian {
+    let mut h = Hamiltonian::new(n);
+    for &(u, v) in edges {
+        let alpha = coeff();
+        let beta = coeff();
+        h.add_two_qubit_term(u, v, alpha, beta, 0.0);
+    }
+    h
+}
+
+/// A transverse-field Ising model `H = Σ γ_uv Z_uZ_v + Σ β_k X_k` on an
+/// arbitrary edge list.  `coeff` is called once per edge (the ZZ couplings,
+/// in edge order) and then once per qubit (the X fields, in qubit order).
+pub fn transverse_ising_on_edges(
+    n: usize,
+    edges: &[(usize, usize)],
+    mut coeff: impl FnMut() -> f64,
+) -> Hamiltonian {
+    let mut h = Hamiltonian::new(n);
+    for &(u, v) in edges {
+        let gamma = coeff();
+        h.add_zz(u, v, gamma);
+    }
+    for k in 0..n {
+        let beta = coeff();
+        h.add_x_field(k, beta);
+    }
+    h
+}
+
+/// A pure-ZZ (QAOA-cost-style) Hamiltonian `H = Σ γ_uv Z_uZ_v` on an
+/// arbitrary edge list.  `coeff` is called once per edge, in edge order.
+pub fn zz_on_edges(
+    n: usize,
+    edges: &[(usize, usize)],
+    mut coeff: impl FnMut() -> f64,
+) -> Hamiltonian {
+    let mut h = Hamiltonian::new(n);
+    for &(u, v) in edges {
+        let gamma = coeff();
+        h.add_zz(u, v, gamma);
+    }
+    h
+}
+
 /// The NNN transverse-field Ising model (Eq. 4):
 /// `H = Σ γ_uv Z_uZ_v + Σ β_k X_k` on a linear chain with NN and NNN
 /// couplings.  Coefficients are sampled from `(0, π)` with the given seed.
 pub fn nnn_ising(n: usize, seed: u64) -> Hamiltonian {
     assert!(n >= 2, "the NNN Ising model needs at least 2 qubits");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut h = Hamiltonian::new(n);
-    for (u, v) in nnn_chain_edges(n) {
-        let gamma = coefficient(&mut rng);
-        h.add_zz(u, v, gamma);
-    }
-    for k in 0..n {
-        let beta = coefficient(&mut rng);
-        h.add_x_field(k, beta);
-    }
-    h
+    transverse_ising_on_edges(n, &nnn_chain_edges(n), || coefficient(&mut rng))
 }
 
 /// The NNN XY model (Eq. 5):
@@ -57,13 +118,7 @@ pub fn nnn_ising(n: usize, seed: u64) -> Hamiltonian {
 pub fn nnn_xy(n: usize, seed: u64) -> Hamiltonian {
     assert!(n >= 2, "the NNN XY model needs at least 2 qubits");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut h = Hamiltonian::new(n);
-    for (u, v) in nnn_chain_edges(n) {
-        let alpha = coefficient(&mut rng);
-        let beta = coefficient(&mut rng);
-        h.add_two_qubit_term(u, v, alpha, beta, 0.0);
-    }
-    h
+    xy_on_edges(n, &nnn_chain_edges(n), || coefficient(&mut rng))
 }
 
 /// The NNN Heisenberg model (Eq. 6):
@@ -72,14 +127,7 @@ pub fn nnn_xy(n: usize, seed: u64) -> Hamiltonian {
 pub fn nnn_heisenberg(n: usize, seed: u64) -> Hamiltonian {
     assert!(n >= 2, "the NNN Heisenberg model needs at least 2 qubits");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut h = Hamiltonian::new(n);
-    for (u, v) in nnn_chain_edges(n) {
-        let alpha = coefficient(&mut rng);
-        let beta = coefficient(&mut rng);
-        let gamma = coefficient(&mut rng);
-        h.add_two_qubit_term(u, v, alpha, beta, gamma);
-    }
-    h
+    heisenberg_on_edges(n, &nnn_chain_edges(n), || coefficient(&mut rng))
 }
 
 /// Lattice dimensions for [`heisenberg_lattice`] (Table III uses 30-qubit
@@ -153,14 +201,7 @@ pub fn heisenberg_lattice(dims: LatticeDimensions, seed: u64) -> Hamiltonian {
     let n = dims.num_sites();
     assert!(n >= 2, "a Heisenberg lattice needs at least 2 sites");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut h = Hamiltonian::new(n);
-    for (u, v) in dims.edges() {
-        let alpha = coefficient(&mut rng);
-        let beta = coefficient(&mut rng);
-        let gamma = coefficient(&mut rng);
-        h.add_two_qubit_term(u, v, alpha, beta, gamma);
-    }
-    h
+    heisenberg_on_edges(n, &dims.edges(), || coefficient(&mut rng))
 }
 
 #[cfg(test)]
@@ -243,6 +284,42 @@ mod tests {
         let three_d = LatticeDimensions::ThreeD(2, 3, 5);
         assert_eq!(three_d.num_sites(), 30);
         assert_eq!(three_d.edges().len(), 3 * 5 + 2 * 2 * 5 + 2 * 3 * 4); // 59
+    }
+
+    #[test]
+    fn edge_list_constructors_match_the_nnn_models() {
+        // The nnn_* generators are thin wrappers over the shared edge-list
+        // constructors; replaying the same RNG through the shared entry
+        // points must reproduce them exactly.
+        use rand::SeedableRng;
+        let n = 9;
+        let edges = nnn_chain_edges(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        assert_eq!(
+            heisenberg_on_edges(n, &edges, || coefficient(&mut rng)),
+            nnn_heisenberg(n, 17)
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        assert_eq!(
+            xy_on_edges(n, &edges, || coefficient(&mut rng)),
+            nnn_xy(n, 17)
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        assert_eq!(
+            transverse_ising_on_edges(n, &edges, || coefficient(&mut rng)),
+            nnn_ising(n, 17)
+        );
+    }
+
+    #[test]
+    fn zz_on_edges_builds_pure_cost_hamiltonians() {
+        let h = zz_on_edges(4, &[(0, 1), (1, 2), (2, 3)], || 0.7);
+        assert_eq!(h.num_interaction_pairs(), 3);
+        for t in h.two_qubit_terms() {
+            assert_eq!((t.xx, t.yy), (0.0, 0.0));
+            assert_eq!(t.zz, 0.7);
+        }
+        assert!(h.single_qubit_terms().is_empty());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The seeded conformance fuzzing harness.
 //!
 //! Each fuzz *combo* draws one random workload and one random device; each
-//! combo is then compiled by **every** compiler in the workspace (2QAN, the
-//! Qiskit-like and t|ket⟩-like generic baselines, IC-QAOA, Paulihedral and
-//! NoMap) and each compilation is checked for:
+//! combo is then compiled by **every** compiler in the workspace registry
+//! (`twoqan_baselines::CompilerRegistry`: 2QAN, the Qiskit-like and
+//! t|ket⟩-like generic baselines, IC-QAOA, Paulihedral and NoMap) and each
+//! compilation is checked for:
 //!
 //! * permutation-aware statevector equivalence at `≤ 1e-10` amplitude error
 //!   ([`crate::equivalence`]), in strict-order mode for order-respecting
@@ -13,8 +14,12 @@
 //!   validity and gate-count accounting ([`crate::invariants`]);
 //! * dependency-DAG preservation for the order-respecting compilers.
 //!
-//! Everything is deterministic in the harness seed, so any failure
-//! reproduces from its case id alone.
+//! Each compiler's contract (check mode, connectivity constraint, DAG
+//! preservation) is read off the [`Compiler`] trait itself —
+//! `order_respecting()` / `constrains_connectivity()` — so adding a
+//! compiler to the registry automatically enrols it here.  Everything is
+//! deterministic in the harness seed, so any failure reproduces from its
+//! case id alone.
 
 use crate::equivalence::{
     all_gates_commute, EquivalenceChecker, EquivalenceMode, EquivalenceReport,
@@ -23,60 +28,10 @@ use crate::invariants::{check_order_preserved, check_structural};
 use crate::workloads::{random_device, random_workload, RandomTopologyKind, RandomWorkloadKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use twoqan::{TwoQanCompiler, TwoQanConfig};
-use twoqan_baselines::{GenericCompiler, IcQaoaCompiler, NoMapCompiler, PaulihedralCompiler};
-use twoqan_circuit::{Circuit, ScheduledCircuit};
-use twoqan_device::{Device, TwoQubitBasis};
-
-/// The compilers exercised by the fuzzer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FuzzCompiler {
-    /// The 2QAN pipeline.
-    TwoQan,
-    /// The Qiskit-like order-respecting baseline.
-    QiskitLike,
-    /// The t|ket⟩-like order-respecting baseline.
-    TketLike,
-    /// The commutation-aware IC-QAOA baseline.
-    IcQaoa,
-    /// The block-ordered Paulihedral baseline.
-    Paulihedral,
-    /// The connectivity-unconstrained NoMap baseline.
-    NoMap,
-}
-
-impl FuzzCompiler {
-    /// All compilers, in report order.
-    pub const ALL: [FuzzCompiler; 6] = [
-        FuzzCompiler::TwoQan,
-        FuzzCompiler::QiskitLike,
-        FuzzCompiler::TketLike,
-        FuzzCompiler::IcQaoa,
-        FuzzCompiler::Paulihedral,
-        FuzzCompiler::NoMap,
-    ];
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            FuzzCompiler::TwoQan => "2QAN",
-            FuzzCompiler::QiskitLike => "Qiskit-like",
-            FuzzCompiler::TketLike => "tket-like",
-            FuzzCompiler::IcQaoa => "IC-QAOA",
-            FuzzCompiler::Paulihedral => "Paulihedral-like",
-            FuzzCompiler::NoMap => "NoMap",
-        }
-    }
-
-    /// Whether this compiler preserves the input gate order (and must
-    /// therefore pass the strict-order check and DAG preservation).
-    pub fn order_respecting(&self) -> bool {
-        matches!(
-            self,
-            FuzzCompiler::QiskitLike | FuzzCompiler::TketLike | FuzzCompiler::Paulihedral
-        )
-    }
-}
+use twoqan::pipeline::Compiler;
+use twoqan_baselines::{CompilerRegistry, RegistryOptions};
+use twoqan_circuit::Circuit;
+use twoqan_device::Device;
 
 /// Configuration of a fuzzing run.
 #[derive(Debug, Clone)]
@@ -208,80 +163,6 @@ impl ConformanceReport {
     }
 }
 
-/// One compiled artifact in the uniform shape the checks consume.
-struct CompiledCase {
-    compiled: ScheduledCircuit,
-    initial_positions: Vec<usize>,
-    expected_final_positions: Option<Vec<usize>>,
-    /// `None` disables the connectivity check (NoMap).
-    device: Option<Device>,
-    swaps: usize,
-    dressed_swaps: usize,
-}
-
-/// Compiles one case through the requested compiler.
-fn compile_case(
-    compiler: FuzzCompiler,
-    circuit: &Circuit,
-    device: &Device,
-    seed: u64,
-) -> CompiledCase {
-    let identity: Vec<usize> = (0..circuit.num_qubits()).collect();
-    match compiler {
-        FuzzCompiler::TwoQan => {
-            let result = TwoQanCompiler::new(TwoQanConfig {
-                mapping_trials: 1,
-                seed,
-                ..TwoQanConfig::default()
-            })
-            .compile(circuit, device)
-            .expect("fuzz circuits fit on their devices");
-            CompiledCase {
-                initial_positions: result.initial_map.assignment().to_vec(),
-                expected_final_positions: Some(result.routed.final_map().assignment().to_vec()),
-                swaps: result.swap_count(),
-                dressed_swaps: result.dressed_swap_count(),
-                compiled: result.hardware_circuit,
-                device: Some(device.clone()),
-            }
-        }
-        FuzzCompiler::QiskitLike
-        | FuzzCompiler::TketLike
-        | FuzzCompiler::IcQaoa
-        | FuzzCompiler::Paulihedral => {
-            let result = match compiler {
-                FuzzCompiler::QiskitLike => GenericCompiler::qiskit_like().compile(circuit, device),
-                FuzzCompiler::TketLike => GenericCompiler::tket_like().compile(circuit, device),
-                FuzzCompiler::IcQaoa => IcQaoaCompiler::new(seed).compile(circuit, device),
-                FuzzCompiler::Paulihedral => PaulihedralCompiler::new().compile(circuit, device),
-                _ => unreachable!(),
-            };
-            CompiledCase {
-                initial_positions: result
-                    .initial_placement
-                    .clone()
-                    .expect("baseline compilers record their initial placement"),
-                expected_final_positions: None,
-                swaps: result.swap_count(),
-                dressed_swaps: result.metrics.dressed_swap_count,
-                compiled: result.hardware_circuit,
-                device: Some(device.clone()),
-            }
-        }
-        FuzzCompiler::NoMap => {
-            let result = NoMapCompiler::new().compile(circuit, TwoQubitBasis::Cnot);
-            CompiledCase {
-                initial_positions: identity,
-                expected_final_positions: None,
-                swaps: result.swap_count(),
-                dressed_swaps: result.metrics.dressed_swap_count,
-                compiled: result.hardware_circuit,
-                device: None,
-            }
-        }
-    }
-}
-
 /// The outcome of compiling and fully checking one (circuit, device,
 /// compiler) case.
 #[derive(Debug, Clone)]
@@ -296,20 +177,19 @@ pub struct VerifiedCase {
     pub outcome: Result<EquivalenceReport, String>,
 }
 
-/// Compiles `circuit` through one compiler and runs the complete check
-/// battery: structural invariants, dependency-DAG preservation for the
-/// order-respecting compilers, and statevector equivalence in the
+/// Compiles `circuit` through one registry compiler and runs the complete
+/// check battery: structural invariants, dependency-DAG preservation for
+/// the order-respecting compilers, and statevector equivalence in the
 /// compiler's contract mode (strict order when the compiler respects order
-/// or every gate commutes, term permutation otherwise; NoMap is checked
-/// without a connectivity constraint).
+/// or every gate commutes, term permutation otherwise; connectivity is not
+/// checked for compilers that do not constrain it, i.e. NoMap).
 ///
 /// This is the single source of truth for each compiler's contract — the
 /// fuzz harness and the integration tests both go through it.
 pub fn verify_one(
-    compiler: FuzzCompiler,
+    compiler: &dyn Compiler,
     circuit: &Circuit,
     device: &Device,
-    seed: u64,
     checker: &EquivalenceChecker,
 ) -> VerifiedCase {
     let unified = circuit.unify_same_pair_gates();
@@ -318,39 +198,37 @@ pub fn verify_one(
     } else {
         EquivalenceMode::TermPermutation
     };
-    let case = compile_case(compiler, circuit, device, seed);
-    let outcome = run_checks(&case, &unified, mode, compiler.order_respecting(), checker);
+    let compiled = compiler
+        .compile(circuit, device)
+        .expect("fuzz circuits fit on their devices");
+    let connectivity_device = compiler.constrains_connectivity().then_some(device);
+    let outcome = (|| {
+        check_structural(&compiled.hardware_circuit, &unified, connectivity_device)
+            .map_err(|e| format!("structural: {e}"))?;
+        if compiler.order_respecting() {
+            check_order_preserved(
+                &unified,
+                &compiled.hardware_circuit,
+                &compiled.initial_placement,
+            )
+            .map_err(|e| format!("dag: {e}"))?;
+        }
+        checker
+            .check(
+                &unified,
+                &compiled.hardware_circuit,
+                &compiled.initial_placement,
+                mode,
+                compiled.final_placement.as_deref(),
+            )
+            .map_err(|e| format!("equivalence: {e}"))
+    })();
     VerifiedCase {
         mode,
-        swaps: case.swaps,
-        dressed_swaps: case.dressed_swaps,
+        swaps: compiled.metrics.swap_count,
+        dressed_swaps: compiled.metrics.dressed_swap_count,
         outcome,
     }
-}
-
-/// Runs one compiled case's full check battery.
-fn run_checks(
-    case: &CompiledCase,
-    unified: &Circuit,
-    mode: EquivalenceMode,
-    order_respecting: bool,
-    checker: &EquivalenceChecker,
-) -> Result<EquivalenceReport, String> {
-    check_structural(&case.compiled, unified, case.device.as_ref())
-        .map_err(|e| format!("structural: {e}"))?;
-    if order_respecting {
-        check_order_preserved(unified, &case.compiled, &case.initial_positions)
-            .map_err(|e| format!("dag: {e}"))?;
-    }
-    checker
-        .check(
-            unified,
-            &case.compiled,
-            &case.initial_positions,
-            mode,
-            case.expected_final_positions.as_deref(),
-        )
-        .map_err(|e| format!("equivalence: {e}"))
 }
 
 /// Runs the full fuzzing harness for a configuration.
@@ -359,7 +237,8 @@ pub fn run_fuzz(config: &FuzzConfig) -> ConformanceReport {
         tolerance: config.tolerance,
         ..EquivalenceChecker::default()
     };
-    let mut results = Vec::with_capacity(config.combos * FuzzCompiler::ALL.len());
+    let compilers_per_combo = CompilerRegistry::NAMES.len();
+    let mut results = Vec::with_capacity(config.combos * compilers_per_combo);
     let mut case_id = 0usize;
     for combo in 0..config.combos {
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(combo as u64));
@@ -376,14 +255,12 @@ pub fn run_fuzz(config: &FuzzConfig) -> ConformanceReport {
             seed: checker.seed.wrapping_add(combo as u64),
             ..checker.clone()
         };
-        for compiler in FuzzCompiler::ALL {
-            let verified = verify_one(
-                compiler,
-                &workload.circuit,
-                &device,
-                config.seed.wrapping_add(1000 + combo as u64),
-                &per_check,
-            );
+        // One deterministic mapping trial per case, seeded per combo, for
+        // both stochastic compilers (2QAN's Tabu mapping, IC-QAOA's
+        // annealing placement).
+        let options = RegistryOptions::seeded(config.seed.wrapping_add(1000 + combo as u64), 1);
+        for compiler in CompilerRegistry::with_options(&options) {
+            let verified = verify_one(compiler.as_ref(), &workload.circuit, &device, &per_check);
             let (max_error, support) = match &verified.outcome {
                 Ok(report) => (report.max_amplitude_error, report.support_qubits),
                 Err(_) => (f64::NAN, 0),
@@ -393,10 +270,10 @@ pub fn run_fuzz(config: &FuzzConfig) -> ConformanceReport {
                 workload: workload_kind.name(),
                 qubits: n,
                 app_gates,
-                device: if compiler == FuzzCompiler::NoMap {
-                    "all-to-all".to_string()
-                } else {
+                device: if compiler.constrains_connectivity() {
                     device.name().to_string()
+                } else {
+                    "all-to-all".to_string()
                 },
                 compiler: compiler.name(),
                 mode: verified.mode.name(),
@@ -440,9 +317,9 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(report.max_amplitude_error() <= 1e-10);
-        // Every compiler and both modes are exercised.
-        for compiler in FuzzCompiler::ALL {
-            assert!(report.results.iter().any(|r| r.compiler == compiler.name()));
+        // Every registered compiler and both modes are exercised.
+        for name in CompilerRegistry::NAMES {
+            assert!(report.results.iter().any(|r| r.compiler == name));
         }
         assert!(report.results.iter().any(|r| r.mode == "strict"));
         assert!(report.results.iter().any(|r| r.mode == "permutation"));

@@ -12,7 +12,11 @@ use rand::Rng;
 use twoqan_circuit::Circuit;
 use twoqan_device::{Calibration, Device, GateSet, TwoQubitBasis};
 use twoqan_graphs::Graph;
-use twoqan_ham::{trotter_step, Hamiltonian, QaoaProblem};
+use twoqan_ham::{trotter_step, QaoaProblem};
+// The model constructors are shared with `twoqan_bench::workloads` — both
+// re-export them from `twoqan-ham`, the single home of the benchmark-model
+// builders.
+pub use twoqan_ham::{heisenberg_on_edges, transverse_ising_on_edges, xy_on_edges, zz_on_edges};
 
 /// The randomised workload families the fuzzer draws from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,43 +96,21 @@ pub fn random_workload<R: Rng + ?Sized>(
     let extra = rng.gen_range(0..=n / 2);
     let graph = random_connected_graph(n, extra, rng);
     let dt = rng.gen_range(0.2..1.0);
-    let coeff = |rng: &mut R| rng.gen_range(0.1..1.3);
+    let edges = graph.edges();
     let circuit = match kind {
-        RandomWorkloadKind::Heisenberg => {
-            let mut h = Hamiltonian::new(n);
-            for (u, v) in graph.edges() {
-                let (a, b, c) = (coeff(rng), coeff(rng), coeff(rng));
-                h.add_two_qubit_term(u, v, a, b, c);
-            }
-            trotter_step(&h, dt)
-        }
+        RandomWorkloadKind::Heisenberg => trotter_step(
+            &heisenberg_on_edges(n, &edges, || rng.gen_range(0.1..1.3)),
+            dt,
+        ),
         RandomWorkloadKind::Xy => {
-            let mut h = Hamiltonian::new(n);
-            for (u, v) in graph.edges() {
-                let (a, b) = (coeff(rng), coeff(rng));
-                h.add_two_qubit_term(u, v, a, b, 0.0);
-            }
-            trotter_step(&h, dt)
+            trotter_step(&xy_on_edges(n, &edges, || rng.gen_range(0.1..1.3)), dt)
         }
-        RandomWorkloadKind::TransverseIsing => {
-            let mut h = Hamiltonian::new(n);
-            for (u, v) in graph.edges() {
-                let c = coeff(rng);
-                h.add_zz(u, v, c);
-            }
-            for q in 0..n {
-                let c = coeff(rng);
-                h.add_x_field(q, c);
-            }
-            trotter_step(&h, dt)
-        }
+        RandomWorkloadKind::TransverseIsing => trotter_step(
+            &transverse_ising_on_edges(n, &edges, || rng.gen_range(0.1..1.3)),
+            dt,
+        ),
         RandomWorkloadKind::QaoaCost => {
-            let mut h = Hamiltonian::new(n);
-            for (u, v) in graph.edges() {
-                let c = coeff(rng);
-                h.add_zz(u, v, c);
-            }
-            trotter_step(&h, dt)
+            trotter_step(&zz_on_edges(n, &edges, || rng.gen_range(0.1..1.3)), dt)
         }
         RandomWorkloadKind::QaoaLayer => {
             let problem = QaoaProblem::new(graph);

@@ -32,9 +32,13 @@ pub use twoqan_verify;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use twoqan::{CompilationResult, TwoQanCompiler, TwoQanConfig};
+    pub use twoqan::{
+        BatchCompiler, BatchJob, CompilationResult, CompiledOutput, Compiler, PassManager,
+        PipelineReport, TwoQanCompiler, TwoQanConfig,
+    };
     pub use twoqan_baselines::{
-        GenericCompiler, GenericConfig, IcQaoaCompiler, NoMapCompiler, PaulihedralCompiler,
+        CompilerRegistry, GenericCompiler, GenericConfig, IcQaoaCompiler, NoMapCompiler,
+        PaulihedralCompiler, RegistryOptions,
     };
     pub use twoqan_circuit::{Circuit, Gate, GateKind, Qubit};
     pub use twoqan_device::{Device, GateSet, TwoQubitBasis};

@@ -5,10 +5,11 @@
 
 use twoqan_repro::prelude::*;
 use twoqan_repro::twoqan::decompose::decompose_to_cnot_exact;
+use twoqan_repro::twoqan_baselines::{CompilerRegistry, RegistryOptions};
 use twoqan_repro::twoqan_circuit::GateKind;
 use twoqan_repro::twoqan_math::gates;
 use twoqan_repro::twoqan_sim::{evaluate_qaoa, NoiseModel};
-use twoqan_repro::twoqan_verify::{verify_one, EquivalenceChecker, EquivalenceMode, FuzzCompiler};
+use twoqan_repro::twoqan_verify::{verify_one, EquivalenceChecker, EquivalenceMode};
 
 fn compile_2qan(circuit: &Circuit, device: &Device) -> twoqan_repro::twoqan::CompilationResult {
     TwoQanCompiler::new(TwoQanConfig {
@@ -143,8 +144,8 @@ fn every_compiler_is_equivalence_checked_end_to_end() {
             ),
         ),
     ] {
-        for compiler in FuzzCompiler::ALL {
-            let verified = verify_one(compiler, &circuit, &device, 7, &checker);
+        for compiler in CompilerRegistry::with_options(&RegistryOptions::seeded(7, 1)) {
+            let verified = verify_one(compiler.as_ref(), &circuit, &device, &checker);
             let report = verified.outcome.unwrap_or_else(|e| {
                 panic!("{} on {name}: {e}", compiler.name());
             });
@@ -165,6 +166,149 @@ fn every_compiler_is_equivalence_checked_end_to_end() {
                 );
             }
         }
+    }
+}
+
+/// The pre-refactor `TwoQanCompiler::compile` sequence, inlined: unify
+/// once, then per trial seed an RNG, map, route, schedule, compute metrics,
+/// and keep the lexicographically best (SWAPs, gates, depth) result.  The
+/// pass-pipeline compiler must reproduce this bit for bit.
+fn legacy_2qan_compile(
+    circuit: &Circuit,
+    device: &Device,
+    config: &TwoQanConfig,
+) -> twoqan_repro::twoqan::CompilationResult {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use twoqan_repro::twoqan::decompose::hardware_metrics;
+    use twoqan_repro::twoqan::mapping::initial_mapping_with;
+    use twoqan_repro::twoqan::routing::route;
+    use twoqan_repro::twoqan::scheduling::schedule;
+    use twoqan_repro::twoqan::CompilationResult;
+
+    let prepared = if config.unify_input {
+        circuit.unify_same_pair_gates()
+    } else {
+        circuit.clone()
+    };
+    let mapping_config = config.mapping_config();
+    let mut best: Option<CompilationResult> = None;
+    for trial in 0..config.mapping_trials.max(1) {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(trial as u64));
+        let map = initial_mapping_with(&prepared, device, &mapping_config, &mut rng).unwrap();
+        let routed = route(&prepared, device, &map, &config.routing, &mut rng).unwrap();
+        let hardware_circuit = schedule(&routed, device, config.scheduling);
+        let metrics = hardware_metrics(&hardware_circuit, device.default_basis());
+        let candidate = CompilationResult {
+            initial_map: map,
+            routed,
+            hardware_circuit,
+            metrics,
+            basis: device.default_basis(),
+        };
+        let better = best.as_ref().is_none_or(|b| {
+            (
+                candidate.metrics.swap_count,
+                candidate.metrics.hardware_two_qubit_count,
+                candidate.metrics.hardware_two_qubit_depth,
+            ) < (
+                b.metrics.swap_count,
+                b.metrics.hardware_two_qubit_count,
+                b.metrics.hardware_two_qubit_depth,
+            )
+        });
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.unwrap()
+}
+
+#[test]
+fn pipelined_2qan_is_bit_identical_to_the_pre_refactor_path() {
+    // The seeded fig09 (Montreal compilation sweep) and fig10 (QAOA
+    // fidelity) workloads: `Workload::generate` seeds instances with
+    // `1000 * n + instance`, and fig10 uses the fixed optimal p=1 angles.
+    let device = Device::montreal();
+    let (gamma, beta) = QaoaProblem::optimal_p1_angles_regular3();
+    let workloads: Vec<(&str, Circuit)> = vec![
+        (
+            "fig09-heisenberg-12",
+            trotterize(&nnn_heisenberg(12, 12000), 1, 1.0),
+        ),
+        ("fig09-xy-10", trotterize(&nnn_xy(10, 10000), 1, 1.0)),
+        ("fig09-ising-14", trotterize(&nnn_ising(14, 14000), 1, 1.0)),
+        (
+            "fig09-qaoa-10",
+            QaoaProblem::random_regular(10, 3, 10000).circuit(&[(gamma, beta)], false),
+        ),
+        (
+            "fig10-qaoa-8",
+            QaoaProblem::random_regular(8, 3, 8000).circuit(&[(gamma, beta)], false),
+        ),
+    ];
+    for config in [
+        TwoQanConfig::default(),
+        TwoQanConfig {
+            mapping_trials: 1,
+            seed: 7,
+            ..TwoQanConfig::default()
+        },
+    ] {
+        for (name, circuit) in &workloads {
+            let legacy = legacy_2qan_compile(circuit, &device, &config);
+            let (pipelined, report) = TwoQanCompiler::new(config.clone())
+                .compile_with_report(circuit, &device)
+                .unwrap();
+            assert_eq!(pipelined, legacy, "{name} diverged from the legacy path");
+            assert_eq!(
+                report.pass_names(),
+                vec![
+                    "unify",
+                    "qap-mapping",
+                    "permutation-routing",
+                    "alap-schedule",
+                    "decompose"
+                ],
+                "{name}"
+            );
+            assert_eq!(report.trials, config.mapping_trials, "{name}");
+        }
+    }
+}
+
+#[test]
+fn batch_driver_matches_per_call_compilation() {
+    // The batch driver must produce exactly what one-at-a-time compilation
+    // produces, in job order.
+    let device = Device::montreal();
+    let circuits: Vec<Circuit> = (0..4)
+        .map(|i| trotterize(&nnn_heisenberg(8 + 2 * i, 5), 1, 1.0))
+        .collect();
+    let registry = CompilerRegistry::all();
+    let device_ref = &device;
+    let jobs: Vec<BatchJob<'_>> = circuits
+        .iter()
+        .flat_map(|c| {
+            registry.iter().map(move |compiler| BatchJob {
+                circuit: c,
+                device: device_ref,
+                compiler: compiler.as_ref(),
+            })
+        })
+        .collect();
+    let batched = BatchCompiler::new(3).compile_batch(&jobs);
+    assert_eq!(batched.len(), circuits.len() * registry.len());
+    for (job, result) in jobs.iter().zip(&batched) {
+        let direct = job.compiler.compile(job.circuit, job.device).unwrap();
+        let batched = result.as_ref().unwrap();
+        assert_eq!(batched.metrics, direct.metrics, "{}", job.compiler.name());
+        assert_eq!(
+            batched.hardware_circuit,
+            direct.hardware_circuit,
+            "{}",
+            job.compiler.name()
+        );
     }
 }
 
