@@ -8,7 +8,7 @@
 
 use crate::{GenericCompiler, IcQaoaCompiler, NoMapCompiler, PaulihedralCompiler};
 use twoqan::pipeline::Compiler;
-use twoqan::{TwoQanCompiler, TwoQanConfig};
+use twoqan::{CostModel, TwoQanCompiler, TwoQanConfig};
 
 /// Optional construction overrides for [`CompilerRegistry::with_options`].
 ///
@@ -67,25 +67,42 @@ impl CompilerRegistry {
     }
 
     /// Looks a stock-configuration compiler up by display name (constructs
-    /// only the requested compiler).
+    /// only the requested compiler).  Besides [`CompilerRegistry::NAMES`],
+    /// `"2QAN-noise"` — the calibration-aware 2QAN variant — is also
+    /// constructible by name (it is not part of the default sweeps, which
+    /// target uniform calibrations where it compiles identically to 2QAN).
     pub fn by_name(name: &str) -> Option<Box<dyn Compiler>> {
         Self::build(name, &RegistryOptions::default())
+    }
+
+    /// Like [`CompilerRegistry::by_name`], with construction overrides
+    /// (used by the conformance fuzzer for per-case-seeded compilations).
+    pub fn by_name_with_options(
+        name: &str,
+        options: &RegistryOptions,
+    ) -> Option<Box<dyn Compiler>> {
+        Self::build(name, options)
     }
 
     /// The single construction point of the registry: builds one compiler
     /// by display name.
     fn build(name: &str, options: &RegistryOptions) -> Option<Box<dyn Compiler>> {
-        Some(match name {
-            "2QAN" => {
-                let mut config = TwoQanConfig::default();
-                if let Some(seed) = options.seed {
-                    config.seed = seed;
-                }
-                if let Some(trials) = options.mapping_trials {
-                    config.mapping_trials = trials;
-                }
-                Box::new(TwoQanCompiler::new(config))
+        let two_qan = |cost_model: CostModel| {
+            let mut config = TwoQanConfig {
+                cost_model,
+                ..TwoQanConfig::default()
+            };
+            if let Some(seed) = options.seed {
+                config.seed = seed;
             }
+            if let Some(trials) = options.mapping_trials {
+                config.mapping_trials = trials;
+            }
+            Box::new(TwoQanCompiler::new(config))
+        };
+        Some(match name {
+            "2QAN" => two_qan(CostModel::HopCount),
+            "2QAN-noise" => two_qan(CostModel::CalibrationAware),
             "Qiskit-like" => Box::new(GenericCompiler::qiskit_like()),
             "tket-like" => Box::new(GenericCompiler::tket_like()),
             "IC-QAOA" => Box::new(
@@ -125,7 +142,26 @@ mod tests {
                 Some(name)
             );
         }
+        // The calibration-aware 2QAN variant is constructible by name even
+        // though it is not in the default sweep set.
+        assert_eq!(
+            CompilerRegistry::by_name("2QAN-noise").map(|c| c.name()),
+            Some("2QAN-noise")
+        );
         assert!(CompilerRegistry::by_name("not-a-compiler").is_none());
+    }
+
+    #[test]
+    fn noise_aware_two_qan_compiles_on_heterogeneous_targets() {
+        let circuit = trotter_step(&nnn_ising(8, 5), 1.0);
+        let device = Device::montreal().with_heterogeneous_calibration(3);
+        let compiler =
+            CompilerRegistry::by_name_with_options("2QAN-noise", &RegistryOptions::seeded(1, 1))
+                .unwrap();
+        let out = compiler.compile(&circuit, &device).unwrap();
+        assert_eq!(out.compiler, "2QAN-noise");
+        assert!(out.hardware_compatible(&device));
+        assert!(out.metrics.duration_ns > 0.0);
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn variants() -> Vec<(&'static str, TwoQanConfig)> {
             TwoQanConfig {
                 routing: RoutingConfig {
                     enable_dressing: false,
+                    ..RoutingConfig::default()
                 },
                 ..base.clone()
             },

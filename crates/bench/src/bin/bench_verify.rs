@@ -10,10 +10,12 @@
 //!     [--combos N] [--seed S] [--out PATH]
 //! ```
 //!
-//! Full mode runs 34 (workload × device) combos through all 6 compilers
-//! (204 cases) and writes `VERIFY_conformance.json` plus
-//! `results/verify_conformance.csv`; `--smoke` runs the 30-case CI subset.
-//! The exit code is non-zero if any case fails.
+//! Full mode runs 34 (workload × device) combos through all 6 registry
+//! compilers plus the calibration-aware `2QAN-noise` variant on a
+//! heterogeneous-target copy of each device (238 cases) and writes
+//! `VERIFY_conformance.json` plus `results/verify_conformance.csv`;
+//! `--smoke` runs the 35-case CI subset.  The exit code is non-zero if any
+//! case fails.
 
 use std::collections::BTreeMap;
 use twoqan_bench::report::{write_csv, Table};

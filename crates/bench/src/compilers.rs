@@ -119,6 +119,12 @@ pub struct MetricsRow {
     pub baseline_two_qubit_gates: usize,
     /// Hardware two-qubit depth of the NoMap baseline.
     pub baseline_two_qubit_depth: usize,
+    /// Estimated success probability of the compiled circuit under the
+    /// device target's per-channel noise model.
+    pub esp: f64,
+    /// Circuit duration in nanoseconds under the target's calibrated gate
+    /// durations (0 for deviceless compilations such as NoMap).
+    pub duration_ns: f64,
 }
 
 /// One CSV column of [`MetricsRow`]: its header name and value accessor.
@@ -149,10 +155,16 @@ const METRICS_ROW_FIELDS: &[MetricsRowField] = &[
     ("nomap_two_qubit_depth", |r| {
         r.baseline_two_qubit_depth.to_string()
     }),
+    ("esp", |r| format!("{:.6}", r.esp)),
+    ("duration_ns", |r| format!("{:.1}", r.duration_ns)),
 ];
 
 impl MetricsRow {
-    /// Builds a row from computed metrics.
+    /// Builds a row from computed metrics.  `esp` and `duration_ns` come
+    /// from the same duration-aware timeline (see [`crate::noise::noise_point`])
+    /// so the idle decay inside the ESP and the reported duration always
+    /// agree — including for the deviceless NoMap reference, whose both
+    /// values use the target's average-fallback channels.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         workload: &str,
@@ -162,6 +174,8 @@ impl MetricsRow {
         instance: usize,
         metrics: &HardwareMetrics,
         baseline: &HardwareMetrics,
+        esp: f64,
+        duration_ns: f64,
     ) -> Self {
         Self {
             workload: workload.to_string(),
@@ -177,6 +191,8 @@ impl MetricsRow {
             total_depth: metrics.total_depth_estimate,
             baseline_two_qubit_gates: baseline.hardware_two_qubit_count,
             baseline_two_qubit_depth: baseline.hardware_two_qubit_depth,
+            esp,
+            duration_ns,
         }
     }
 
@@ -252,9 +268,25 @@ mod tests {
         let w = Workload::generate(WorkloadKind::NnnXy, 8, 0);
         let device = Device::grid(2, 4, TwoQubitBasis::Cnot);
         let (_, base) = CompilerKind::NoMap.compile(&w.circuit, &device);
-        let (_, ours) = CompilerKind::TwoQan.compile(&w.circuit, &device);
-        let row = MetricsRow::new("NNN-XY", &device, CompilerKind::TwoQan, 8, 0, &ours, &base);
+        let (schedule, ours) = CompilerKind::TwoQan.compile(&w.circuit, &device);
+        let noise = crate::noise::noise_point(&schedule, &device);
+        let row = MetricsRow::new(
+            "NNN-XY",
+            &device,
+            CompilerKind::TwoQan,
+            8,
+            0,
+            &ours,
+            &base,
+            noise.breakdown.esp(),
+            noise.duration_ns,
+        );
         assert!(row.gate_overhead() >= 0.0);
+        assert!(row.esp > 0.0 && row.esp < 1.0);
+        assert!(row.duration_ns > 0.0);
+        // For device-mapped compilations the timeline duration equals the
+        // metrics duration (same timeline construction).
+        assert_eq!(row.duration_ns, ours.duration_ns);
         let line = row.csv_line();
         assert_eq!(
             line.split(',').count(),
@@ -271,7 +303,7 @@ mod tests {
             MetricsRow::csv_header(),
             "workload,device,basis,compiler,qubits,instance,swaps,dressed_swaps,\
              hw_two_qubit_gates,hw_two_qubit_depth,total_depth,\
-             nomap_two_qubit_gates,nomap_two_qubit_depth"
+             nomap_two_qubit_gates,nomap_two_qubit_depth,esp,duration_ns"
         );
         assert_eq!(
             METRICS_ROW_FIELDS.len(),

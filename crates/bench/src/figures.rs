@@ -56,7 +56,8 @@ pub fn run_compilation_sweep(
                 let workload = Workload::generate(kind, n, instance);
                 let (_, baseline) = CompilerKind::NoMap.compile(&workload.circuit, device);
                 for &compiler in compilers {
-                    let (_, metrics) = compiler.compile(&workload.circuit, device);
+                    let (schedule, metrics) = compiler.compile(&workload.circuit, device);
+                    let noise = crate::noise::noise_point(&schedule, device);
                     rows.push(MetricsRow::new(
                         &kind.name(),
                         device,
@@ -65,6 +66,8 @@ pub fn run_compilation_sweep(
                         instance,
                         &metrics,
                         &baseline,
+                        noise.breakdown.esp(),
+                        noise.duration_ns,
                     ));
                 }
             }
@@ -312,6 +315,7 @@ fn scale_metrics(metrics: &HardwareMetrics, layers: usize) -> HardwareMetrics {
     m.application_two_qubit_depth *= layers;
     m.total_depth_estimate *= layers;
     m.explicit_single_qubit_count *= layers;
+    m.duration_ns *= layers as f64;
     m
 }
 
@@ -440,14 +444,23 @@ pub fn run_fig13(quick: bool) -> Vec<MetricsRow> {
             let (_, baseline_single) = CompilerKind::NoMap.compile(&single_layer, &device);
             let baseline = scale_metrics(&baseline_single, layers);
             for &compiler in &CompilerKind::QAOA {
-                let metrics = match compiler {
+                let (metrics, esp, duration_ns) = match compiler {
                     // 2QAN: compile the first layer, replicate (reversing even layers).
                     CompilerKind::TwoQan | CompilerKind::NoMap => {
-                        let (_, m) = compiler.compile(&single_layer, &device);
-                        scale_metrics(&m, layers)
+                        let (schedule, m) = compiler.compile(&single_layer, &device);
+                        let noise = crate::noise::noise_point(&schedule, &device);
+                        (
+                            scale_metrics(&m, layers),
+                            noise.breakdown.esp_layers(layers),
+                            noise.duration_ns * layers as f64,
+                        )
                     }
                     // Generic compilers process the whole multi-layer circuit.
-                    _ => compiler.compile(&three_layer, &device).1,
+                    _ => {
+                        let (schedule, m) = compiler.compile(&three_layer, &device);
+                        let noise = crate::noise::noise_point(&schedule, &device);
+                        (m, noise.breakdown.esp(), noise.duration_ns)
+                    }
                 };
                 rows.push(MetricsRow::new(
                     "QAOA-REG-3 (3 layers)",
@@ -457,6 +470,8 @@ pub fn run_fig13(quick: bool) -> Vec<MetricsRow> {
                     instance,
                     &metrics,
                     &baseline,
+                    esp,
+                    duration_ns,
                 ));
             }
         }

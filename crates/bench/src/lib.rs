@@ -20,6 +20,7 @@
 
 pub mod compilers;
 pub mod figures;
+pub mod noise;
 pub mod report;
 pub mod workloads;
 

@@ -45,7 +45,8 @@ fn recompute_fig09_rows(
     compilers
         .iter()
         .map(|&compiler| {
-            let (_, metrics) = compiler.compile(&workload.circuit, &device);
+            let (schedule, metrics) = compiler.compile(&workload.circuit, &device);
+            let noise = twoqan_bench::noise::noise_point(&schedule, &device);
             MetricsRow::new(
                 &kind.name(),
                 &device,
@@ -54,6 +55,8 @@ fn recompute_fig09_rows(
                 instance,
                 &metrics,
                 &baseline,
+                noise.breakdown.esp(),
+                noise.duration_ns,
             )
             .csv_line()
         })
@@ -85,6 +88,28 @@ fn fig10_subset() -> Vec<String> {
     let rows = run_qaoa_fidelity(&[4], 1, &[1, 2, 3]);
     assert_eq!(rows.len(), 18, "6 compiler curves × 3 layer counts");
     rows.iter().map(|r| r.csv_line()).collect()
+}
+
+/// Rewrites the golden files from a fresh recomputation.  Run explicitly
+/// with `cargo test -p twoqan-bench --test golden_snapshots -- --ignored`
+/// when a change intentionally shifts the figures, then review the diff.
+#[test]
+#[ignore = "regenerates tests/golden/*.csv; run explicitly and review the diff"]
+fn regenerate_golden_files() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let write = |name: &str, header: String, rows: Vec<String>| {
+        let mut content = header;
+        content.push('\n');
+        content.push_str(&rows.join("\n"));
+        content.push('\n');
+        fs::write(dir.join(format!("{name}.csv")), content).unwrap();
+    };
+    write("fig09_subset", MetricsRow::csv_header(), fig09_subset());
+    write(
+        "fig10_subset",
+        twoqan_bench::figures::FidelityRow::csv_header().to_string(),
+        fig10_subset(),
+    );
 }
 
 #[test]

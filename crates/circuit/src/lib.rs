@@ -27,6 +27,7 @@ pub mod gate;
 pub mod matrix_cache;
 pub mod metrics;
 pub mod moment;
+pub mod timeline;
 
 pub use circuit::Circuit;
 pub use dag::DependencyDag;
@@ -34,6 +35,7 @@ pub use gate::{Gate, GateKind, SingleQubitClass, TwoQubitClass};
 pub use matrix_cache::MatrixCache;
 pub use metrics::HardwareMetrics;
 pub use moment::{Moment, ScheduledCircuit};
+pub use timeline::{TimedGate, Timeline};
 
 /// Identifier of a qubit (circuit/logical qubits before mapping, hardware
 /// qubits after mapping — both are dense indices starting at 0).

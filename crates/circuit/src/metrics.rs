@@ -39,6 +39,13 @@ pub struct HardwareMetrics {
     /// Number of single-qubit gates present in the circuit before
     /// decomposition.
     pub explicit_single_qubit_count: usize,
+    /// Wall-clock duration of the schedule in nanoseconds under the target
+    /// device's calibrated gate durations (the [`Timeline`] makespan).
+    /// `0.0` when the metrics were computed without a device target — the
+    /// cycle-only [`HardwareMetrics::of`] path.
+    ///
+    /// [`Timeline`]: crate::timeline::Timeline
+    pub duration_ns: f64,
 }
 
 impl HardwareMetrics {
@@ -98,7 +105,24 @@ impl HardwareMetrics {
             application_two_qubit_depth,
             total_depth_estimate,
             explicit_single_qubit_count,
+            duration_ns: 0.0,
         }
+    }
+
+    /// Like [`HardwareMetrics::of`], with [`duration_ns`] filled in from a
+    /// duration-aware [`Timeline`] of the schedule under the given per-gate
+    /// duration oracle (nanoseconds).
+    ///
+    /// [`duration_ns`]: HardwareMetrics::duration_ns
+    /// [`Timeline`]: crate::timeline::Timeline
+    pub fn with_durations(
+        schedule: &ScheduledCircuit,
+        basis: TwoQubitBasisCost,
+        duration_ns: impl Fn(&crate::gate::Gate) -> f64,
+    ) -> Self {
+        let mut metrics = Self::of(schedule, basis);
+        metrics.duration_ns = crate::timeline::Timeline::schedule(schedule, duration_ns).total_ns();
+        metrics
     }
 
     /// Overhead of this compilation relative to a connectivity-unconstrained
@@ -296,6 +320,23 @@ mod tests {
         assert!(r.swaps.is_infinite());
         assert_eq!(r.two_qubit_gates, 1.0);
         assert!(r.two_qubit_depth.is_infinite());
+    }
+
+    #[test]
+    fn duration_aware_metrics_report_the_timeline_makespan() {
+        let gates = vec![
+            Gate::canonical(0, 1, 0.0, 0.0, 0.3),
+            Gate::canonical(1, 2, 0.0, 0.0, 0.3),
+        ];
+        let s = schedule(&gates, 3);
+        let plain = HardwareMetrics::of(&s, TwoQubitBasisCost::Cnot);
+        assert_eq!(plain.duration_ns, 0.0);
+        let timed = HardwareMetrics::with_durations(&s, TwoQubitBasisCost::Cnot, |_| 420.0);
+        assert_eq!(timed.duration_ns, 840.0);
+        // Only the duration differs from the cycle-only metrics.
+        let mut expected = plain;
+        expected.duration_ns = 840.0;
+        assert_eq!(timed, expected);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The end-to-end 2QAN compilation pipeline.
 
 use crate::error::CompileError;
-use crate::mapping::{InitialMappingStrategy, MappingConfig, QubitMap};
+use crate::mapping::{CostModel, InitialMappingStrategy, MappingConfig, QubitMap};
 use crate::passes::{
     AlapSchedulePass, DecomposePass, PermutationRoutingPass, QapMappingPass, UnifyPass,
 };
@@ -39,6 +39,13 @@ pub struct TwoQanConfig {
     /// Apply the circuit-unitary-unifying pre-pass before compiling
     /// (§III-C); disable only for ablation studies.
     pub unify_input: bool,
+    /// The distance cost model — the single switch that drives both the
+    /// QAP mapping distance matrix and the router's SWAP selection
+    /// (it overrides `routing.cost`).  [`CostModel::CalibrationAware`]
+    /// steers placement and routing onto the device target's low-error
+    /// qubits/edges; on a uniform target it reproduces the hop-count
+    /// compilation bit for bit.
+    pub cost_model: CostModel,
 }
 
 impl Default for TwoQanConfig {
@@ -52,17 +59,38 @@ impl Default for TwoQanConfig {
             scheduling: SchedulingStrategy::Hybrid,
             seed: 2021,
             unify_input: true,
+            cost_model: CostModel::HopCount,
         }
     }
 }
 
 impl TwoQanConfig {
+    /// The stock configuration with the calibration-aware cost model
+    /// switched on (mapping and routing both optimise −log-fidelity
+    /// weighted distances against the device target).
+    pub fn calibration_aware() -> Self {
+        Self {
+            cost_model: CostModel::CalibrationAware,
+            ..Self::default()
+        }
+    }
+
     /// The mapping-pass configuration implied by this compiler config.
     pub fn mapping_config(&self) -> MappingConfig {
         MappingConfig {
             strategy: self.mapping_strategy,
             tabu: self.tabu.clone(),
             annealing: self.annealing.clone(),
+            cost: self.cost_model,
+        }
+    }
+
+    /// The routing-pass configuration implied by this compiler config
+    /// (`routing` with the compiler-level cost model applied).
+    pub fn routing_config(&self) -> RoutingConfig {
+        RoutingConfig {
+            cost: self.cost_model,
+            ..self.routing
         }
     }
 }
@@ -196,7 +224,9 @@ impl TwoQanCompiler {
             passes.push(Box::new(UnifyPass));
         }
         passes.push(Box::new(QapMappingPass::new(self.config.mapping_config())));
-        passes.push(Box::new(PermutationRoutingPass::new(self.config.routing)));
+        passes.push(Box::new(PermutationRoutingPass::new(
+            self.config.routing_config(),
+        )));
         passes.push(Box::new(AlapSchedulePass::new(self.config.scheduling)));
         passes.push(Box::new(DecomposePass));
         PassManager::with_passes(passes)
@@ -251,51 +281,103 @@ impl TwoQanCompiler {
         } else {
             (circuit.clone(), None)
         };
-        let pipeline = PassManager::with_passes(vec![
-            Box::new(QapMappingPass::new(self.config.mapping_config())),
-            Box::new(PermutationRoutingPass::new(self.config.routing)),
-            Box::new(AlapSchedulePass::new(self.config.scheduling)),
-            Box::new(DecomposePass),
-        ]);
-        let mut best: Option<CompilationResult> = None;
+        // Under the calibration-aware cost model on a heterogeneous target
+        // the compiler runs a *portfolio*: every trial seed is compiled
+        // with both the hop-count and the weighted cost model, and the
+        // candidate with the highest estimated success probability wins —
+        // weighted placements are only kept when the per-channel noise
+        // figures actually predict a fidelity gain over the hop-count
+        // compilation of the same seed.  (On a uniform target the weighted
+        // pipeline is bit-identical to the hop-count one, so the portfolio
+        // would only duplicate work: the legacy single-pipeline path runs
+        // and degenerates exactly.)
+        let error_aware =
+            self.config.cost_model == CostModel::CalibrationAware && !device.target().is_uniform();
+        let pipeline_for = |cost: CostModel| {
+            PassManager::with_passes(vec![
+                Box::new(QapMappingPass::new(MappingConfig {
+                    cost,
+                    ..self.config.mapping_config()
+                })) as Box<dyn crate::pipeline::Pass>,
+                Box::new(PermutationRoutingPass::new(RoutingConfig {
+                    cost,
+                    ..self.config.routing_config()
+                })),
+                Box::new(AlapSchedulePass::new(self.config.scheduling)),
+                Box::new(DecomposePass),
+            ])
+        };
+        let pipelines: Vec<PassManager> = if error_aware {
+            vec![
+                pipeline_for(CostModel::HopCount),
+                pipeline_for(CostModel::CalibrationAware),
+            ]
+        } else {
+            vec![pipeline_for(self.config.cost_model)]
+        };
+        let legacy_rank = |r: &CompilationResult| {
+            (
+                r.metrics.swap_count,
+                r.metrics.hardware_two_qubit_count,
+                r.metrics.hardware_two_qubit_depth,
+            )
+        };
+        let mut best: Option<(CompilationResult, f64)> = None;
         let mut report = PipelineReport::default();
         for trial in 0..trials {
-            let mut ctx = CompilationContext::for_device(
-                prepared.clone(),
-                device,
-                self.config.seed.wrapping_add(trial as u64),
-            );
-            let trial_report = pipeline.run(&mut ctx)?;
-            let candidate = CompilationResult {
-                initial_map: ctx
-                    .initial_layout
-                    .expect("the mapping pass sets the initial layout"),
-                routed: ctx
-                    .routed
-                    .expect("the routing pass sets the routed circuit"),
-                hardware_circuit: ctx.schedule.expect("the scheduling pass sets the schedule"),
-                metrics: ctx.metrics.expect("the decompose pass sets the metrics"),
-                basis: ctx.basis,
-            };
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    (
-                        candidate.metrics.swap_count,
-                        candidate.metrics.hardware_two_qubit_count,
-                        candidate.metrics.hardware_two_qubit_depth,
-                    ) < (
-                        b.metrics.swap_count,
-                        b.metrics.hardware_two_qubit_count,
-                        b.metrics.hardware_two_qubit_depth,
+            for pipeline in &pipelines {
+                let mut ctx = CompilationContext::for_device(
+                    prepared.clone(),
+                    device,
+                    self.config.seed.wrapping_add(trial as u64),
+                );
+                let trial_report = pipeline.run(&mut ctx)?;
+                let timeline = ctx.timeline.take();
+                let candidate = CompilationResult {
+                    initial_map: ctx
+                        .initial_layout
+                        .expect("the mapping pass sets the initial layout"),
+                    routed: ctx
+                        .routed
+                        .expect("the routing pass sets the routed circuit"),
+                    hardware_circuit: ctx.schedule.expect("the scheduling pass sets the schedule"),
+                    metrics: ctx.metrics.expect("the decompose pass sets the metrics"),
+                    basis: ctx.basis,
+                };
+                // Trial selection: fewest SWAPs (then gates, then depth) as
+                // in the paper; the error-aware portfolio ranks by ESP
+                // first so the kept candidate is the one likeliest to
+                // succeed, not merely the smallest.
+                let esp = if error_aware {
+                    let timeline =
+                        timeline.expect("the decompose pass sets the timeline for device runs");
+                    crate::decompose::estimated_success_probability_with_timeline(
+                        &candidate.hardware_circuit,
+                        candidate.basis,
+                        device.target(),
+                        &timeline,
                     )
+                } else {
+                    0.0
+                };
+                let better = match &best {
+                    None => true,
+                    Some((b, best_esp)) => {
+                        if error_aware {
+                            esp > *best_esp
+                                || (esp == *best_esp && legacy_rank(&candidate) < legacy_rank(b))
+                        } else {
+                            legacy_rank(&candidate) < legacy_rank(b)
+                        }
+                    }
+                };
+                report.absorb_trial(&trial_report, better);
+                if better {
+                    best = Some((candidate, esp));
                 }
-            };
-            report.absorb_trial(&trial_report, better);
-            if better {
-                best = Some(candidate);
             }
         }
+        let best = best.map(|(candidate, _)| candidate);
         if let Some(record) = unify_record {
             report.total_ms += record.wall_ms;
             report.passes.insert(0, record);
@@ -306,7 +388,10 @@ impl TwoQanCompiler {
 
 impl Compiler for TwoQanCompiler {
     fn name(&self) -> &'static str {
-        "2QAN"
+        match self.config.cost_model {
+            CostModel::HopCount => "2QAN",
+            CostModel::CalibrationAware => "2QAN-noise",
+        }
     }
 
     fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledOutput, CompileError> {

@@ -16,15 +16,78 @@
 //!   the Montreal device.
 
 use crate::error::CompileError;
-use twoqan_circuit::{Circuit, Gate, GateKind, HardwareMetrics, ScheduledCircuit};
-use twoqan_device::TwoQubitBasis;
+use twoqan_circuit::{Circuit, Gate, GateKind, HardwareMetrics, ScheduledCircuit, Timeline};
+use twoqan_device::{Target, TwoQubitBasis};
 use twoqan_math::synthesis::{self, SynthGate};
 
 /// Computes the hardware gate counts and depths of a scheduled circuit for a
 /// native basis (a thin convenience wrapper over
-/// [`twoqan_circuit::HardwareMetrics`]).
+/// [`twoqan_circuit::HardwareMetrics`]).  Without a device target the
+/// duration is unknown and reported as 0; use
+/// [`hardware_metrics_with_target`] to get a real nanosecond duration.
 pub fn hardware_metrics(schedule: &ScheduledCircuit, basis: TwoQubitBasis) -> HardwareMetrics {
     HardwareMetrics::of(schedule, basis.cost_model())
+}
+
+/// Computes hardware metrics with the circuit duration taken from the
+/// target's calibrated per-edge/per-qubit gate durations (instead of the
+/// hard-coded device-average basis assumptions the noise model used to
+/// assume): `duration_ns` is the makespan of the duration-aware
+/// [`Timeline`] of the schedule.
+pub fn hardware_metrics_with_target(
+    schedule: &ScheduledCircuit,
+    basis: TwoQubitBasis,
+    target: &Target,
+) -> HardwareMetrics {
+    let cost_model = basis.cost_model();
+    HardwareMetrics::with_durations(schedule, cost_model, |g| {
+        target.gate_duration_ns(g, cost_model)
+    })
+}
+
+/// The duration-aware [`Timeline`] of a schedule under a device target: per
+/// gate start times plus per-qubit busy/idle accounting in nanoseconds.
+pub fn timeline_with_target(
+    schedule: &ScheduledCircuit,
+    basis: TwoQubitBasis,
+    target: &Target,
+) -> Timeline {
+    let cost_model = basis.cost_model();
+    Timeline::schedule(schedule, |g| target.gate_duration_ns(g, cost_model))
+}
+
+/// The estimated success probability (ESP) of a schedule under a target's
+/// per-channel noise figures, with the duration-aware timeline supplied by
+/// the caller (measuring every qubit the timeline touches).  The shared
+/// accounting lives in [`Target::esp_factors`] — the same formula
+/// `twoqan_sim::TargetNoiseModel` reports for the benchmarks.
+///
+/// This is the compiler-side scorer the calibration-aware trial selection
+/// maximises.
+pub fn estimated_success_probability_with_timeline(
+    schedule: &ScheduledCircuit,
+    basis: TwoQubitBasis,
+    target: &Target,
+    timeline: &Timeline,
+) -> f64 {
+    let (gate, idle, readout) = target.esp_factors(
+        schedule,
+        timeline,
+        basis.cost_model(),
+        &timeline.used_qubits(),
+    );
+    gate * idle * readout
+}
+
+/// Like [`estimated_success_probability_with_timeline`], building the
+/// timeline from the target's calibrated durations.
+pub fn estimated_success_probability(
+    schedule: &ScheduledCircuit,
+    basis: TwoQubitBasis,
+    target: &Target,
+) -> f64 {
+    let timeline = timeline_with_target(schedule, basis, target);
+    estimated_success_probability_with_timeline(schedule, basis, target, &timeline)
 }
 
 /// Decomposes a scheduled circuit into an explicit CNOT + single-qubit-gate

@@ -68,7 +68,7 @@ pub mod scheduling;
 pub use batch::{BatchCompiler, BatchJob};
 pub use compiler::{CompilationResult, TwoQanCompiler, TwoQanConfig};
 pub use error::CompileError;
-pub use mapping::{InitialMappingStrategy, MappingConfig, QubitMap};
+pub use mapping::{CostModel, InitialMappingStrategy, MappingConfig, QubitMap};
 pub use passes::{
     AlapSchedulePass, DecomposePass, PermutationRoutingPass, QapMappingPass, UnifyPass,
 };

@@ -19,6 +19,21 @@ use twoqan_circuit::Circuit;
 use twoqan_device::Device;
 use twoqan_graphs::{simulated_annealing, tabu_search, AnnealingConfig, QapProblem, TabuConfig};
 
+/// The distance cost model the mapping and routing passes optimise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// Unit hop counts (Eq. 7 of the paper): every device edge costs the
+    /// same, so the passes minimise SWAP counts only.
+    #[default]
+    HopCount,
+    /// Calibration-aware: device edges cost their normalised −log-fidelity
+    /// weight (see `Target::edge_weight`), so the passes steer qubits onto
+    /// the device's low-error regions.  With a uniform target every edge
+    /// weight is exactly 1 and this degenerates to [`CostModel::HopCount`]
+    /// bit for bit.
+    CalibrationAware,
+}
+
 /// Full configuration of the mapping pass: the strategy plus the solver
 /// parameters, so callers (and benches) can tune mapping effort instead of
 /// relying on the solvers' hard-coded defaults.
@@ -32,6 +47,9 @@ pub struct MappingConfig {
     /// Simulated-annealing parameters (used when `strategy` is
     /// [`InitialMappingStrategy::SimulatedAnnealing`]).
     pub annealing: AnnealingConfig,
+    /// The QAP distance matrix flavour: hop counts or calibration-weighted
+    /// −log-fidelity path costs.
+    pub cost: CostModel,
 }
 
 impl MappingConfig {
@@ -198,8 +216,16 @@ pub fn initial_mapping_with<R: Rng + ?Sized>(
     // The QAP is padded with zero-flow dummy facilities up to the device
     // size so that the pairwise-exchange neighbourhoods of the solvers can
     // also move circuit qubits onto currently unused hardware qubits.
-    let padded_qap =
-        || QapProblem::from_interactions(m, &circuit.interaction_pairs(), device.distances());
+    let padded_qap = || match config.cost {
+        CostModel::HopCount => {
+            QapProblem::from_interactions(m, &circuit.interaction_pairs(), device.distances())
+        }
+        CostModel::CalibrationAware => QapProblem::from_interactions_weighted(
+            m,
+            &circuit.interaction_pairs(),
+            device.weighted_distances(),
+        ),
+    };
     let map = match config.strategy {
         InitialMappingStrategy::Trivial => QubitMap::identity(n, m),
         InitialMappingStrategy::TabuSearch => {
@@ -348,6 +374,51 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let map = initial_mapping_with(&circuit, &device, &sa, &mut rng).unwrap();
         assert!(mapping_cost(&map, &circuit, &device) >= 5.0);
+    }
+
+    #[test]
+    fn calibration_aware_mapping_matches_hop_count_on_uniform_targets() {
+        let circuit = trotter_step(&nnn_ising(10, 5), 1.0);
+        let device = Device::montreal();
+        assert!(device.target().is_uniform());
+        let hop = MappingConfig::default();
+        let aware = MappingConfig {
+            cost: CostModel::CalibrationAware,
+            ..MappingConfig::default()
+        };
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let a = initial_mapping_with(&circuit, &device, &hop, &mut rng_a).unwrap();
+        let b = initial_mapping_with(&circuit, &device, &aware, &mut rng_b).unwrap();
+        assert_eq!(a, b, "uniform target must reproduce the hop-count map");
+    }
+
+    #[test]
+    fn calibration_aware_mapping_avoids_high_error_regions() {
+        // A 6-qubit chain on a 12-qubit line whose right-hand edges are 20×
+        // costlier: the weighted QAP must place the chain on the clean left.
+        let circuit = chain_circuit(6);
+        let device = Device::linear(12, TwoQubitBasis::Cnot);
+        let weighted =
+            twoqan_graphs::WeightedDistanceMatrix::dijkstra(device.topology(), &|a, b| {
+                if a.max(b) >= 7 {
+                    20.0
+                } else {
+                    1.0
+                }
+            });
+        let qap = twoqan_graphs::QapProblem::from_interactions_weighted(
+            12,
+            &circuit.interaction_pairs(),
+            &weighted,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let result =
+            twoqan_graphs::tabu_search(&qap, &twoqan_graphs::TabuConfig::default(), &mut rng);
+        // Every chain qubit must sit in the clean half (locations 0..=6).
+        for &loc in &result.assignment[..6] {
+            assert!(loc <= 6, "qubit placed on a poisoned edge region: {loc}");
+        }
     }
 
     #[test]

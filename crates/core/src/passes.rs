@@ -146,7 +146,22 @@ impl Pass for DecomposePass {
                 pass: self.name(),
                 needs: "a scheduled circuit (run a scheduling pass first)",
             })?;
-        ctx.metrics = Some(hardware_metrics(schedule, ctx.basis));
+        // With a device target at hand the duration comes from the
+        // calibrated per-edge gate times; deviceless pipelines (NoMap) have
+        // no target and report no duration.  The timeline is built once and
+        // left in the context for downstream consumers (the error-aware
+        // trial selection scores ESP from it without rebuilding).
+        ctx.metrics = Some(match ctx.device {
+            Some(device) => {
+                let timeline =
+                    crate::decompose::timeline_with_target(schedule, ctx.basis, device.target());
+                let mut metrics = hardware_metrics(schedule, ctx.basis);
+                metrics.duration_ns = timeline.total_ns();
+                ctx.timeline = Some(timeline);
+                metrics
+            }
+            None => hardware_metrics(schedule, ctx.basis),
+        });
         Ok(())
     }
 }

@@ -22,7 +22,7 @@ use crate::routing::RoutedCircuit;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use twoqan_circuit::{Circuit, Gate, HardwareMetrics, ScheduledCircuit};
+use twoqan_circuit::{Circuit, Gate, HardwareMetrics, ScheduledCircuit, Timeline};
 use twoqan_device::{Device, TwoQubitBasis};
 
 /// The shared state a [`PassManager`] threads through its passes.
@@ -56,6 +56,9 @@ pub struct CompilationContext<'a> {
     pub routed: Option<RoutedCircuit>,
     /// The scheduled hardware circuit.
     pub schedule: Option<ScheduledCircuit>,
+    /// The duration-aware nanosecond timeline of the schedule under the
+    /// device target (set by the decompose pass when a device is present).
+    pub timeline: Option<Timeline>,
     /// Gate counts and depths for [`CompilationContext::basis`].
     pub metrics: Option<HardwareMetrics>,
 }
@@ -74,6 +77,7 @@ impl<'a> CompilationContext<'a> {
             physical_gates: None,
             routed: None,
             schedule: None,
+            timeline: None,
             metrics: None,
         }
     }
@@ -91,6 +95,7 @@ impl<'a> CompilationContext<'a> {
             physical_gates: None,
             routed: None,
             schedule: None,
+            timeline: None,
             metrics: None,
         }
     }

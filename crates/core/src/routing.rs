@@ -22,12 +22,16 @@
 //! consumes.
 
 use crate::error::CompileError;
-use crate::mapping::QubitMap;
+use crate::mapping::{CostModel, QubitMap};
 use rand::Rng;
 use std::collections::HashMap;
 use twoqan_circuit::{Circuit, Gate, GateKind};
 use twoqan_device::Device;
-use twoqan_graphs::DistanceMatrix;
+use twoqan_graphs::{DistanceMatrix, WeightedDistanceMatrix};
+
+/// Native two-qubit gates a plain SWAP costs — the weight the
+/// calibration-aware SWAP selection attaches to the SWAP's own edge.
+const SWAP_NATIVE_COST: f64 = 3.0;
 
 /// A routing SWAP inserted between two stages, possibly merged with a
 /// circuit gate ("dressed").
@@ -135,12 +139,20 @@ pub struct RoutingConfig {
     /// Enable the SWAP-unitary-unifying criterion and merging (dressed
     /// SWAPs).  Disabling it is used for ablation studies.
     pub enable_dressing: bool,
+    /// The SWAP-selection cost model.  With
+    /// [`CostModel::CalibrationAware`] the "least SWAP count" criterion
+    /// scores candidates by the −log-fidelity-weighted Eq.-7 cost of the
+    /// unrouted set *plus* the SWAP's own weighted edge cost, steering
+    /// routes through the device's low-error edges.  With a uniform target
+    /// this reproduces the hop-count selection exactly.
+    pub cost: CostModel,
 }
 
 impl Default for RoutingConfig {
     fn default() -> Self {
         Self {
             enable_dressing: true,
+            cost: CostModel::HopCount,
         }
     }
 }
@@ -158,6 +170,11 @@ struct RouterState<'d> {
     /// innermost scoring loops skip the per-call `OnceLock` check of
     /// `Device::distance`.
     distances: &'d DistanceMatrix,
+    /// The calibration-weighted distance matrix, present only under
+    /// [`CostModel::CalibrationAware`].  Hop distances keep driving gate
+    /// selection and NN detection (`dist == 1`); the weighted matrix only
+    /// re-scores the SWAP-selection criterion.
+    weighted: Option<&'d WeightedDistanceMatrix>,
     map: QubitMap,
     unrouted: Vec<Gate>,
     /// `dist[k]` = hardware distance of `unrouted[k]` under `map`.
@@ -175,8 +192,18 @@ struct RouterState<'d> {
 }
 
 impl<'d> RouterState<'d> {
-    fn new(map: QubitMap, unrouted: Vec<Gate>, circuit: &Circuit, device: &'d Device) -> Self {
+    fn new(
+        map: QubitMap,
+        unrouted: Vec<Gate>,
+        circuit: &Circuit,
+        device: &'d Device,
+        cost: CostModel,
+    ) -> Self {
         let distances = device.distances();
+        let weighted = match cost {
+            CostModel::HopCount => None,
+            CostModel::CalibrationAware => Some(device.weighted_distances()),
+        };
         let dist: Vec<u32> = unrouted
             .iter()
             .map(|g| distances.distance(map.physical(g.qubit0()), map.physical(g.qubit1())))
@@ -192,6 +219,7 @@ impl<'d> RouterState<'d> {
         }
         let mut state = Self {
             distances,
+            weighted,
             map,
             unrouted,
             dist,
@@ -266,6 +294,29 @@ impl<'d> RouterState<'d> {
             }
         }
         self.total_cost + delta as f64
+    }
+
+    /// The calibration-weighted SWAP-selection cost of swapping `(a, b)`:
+    /// the change in weighted Eq.-7 cost over the affected unrouted gates
+    /// plus the SWAP's own weighted edge cost (a plain SWAP executes
+    /// [`SWAP_NATIVE_COST`] native gates on that edge).  Only the *delta*
+    /// matters — candidates in one selection round share the same baseline.
+    fn weighted_cost_after_swap(&self, w: &WeightedDistanceMatrix, a: usize, b: usize) -> f64 {
+        let mut delta = 0.0f64;
+        for logical in [self.map.logical(a), self.map.logical(b)]
+            .into_iter()
+            .flatten()
+        {
+            for &k in &self.gates_on[logical] {
+                let g = &self.unrouted[k];
+                let (q0, q1) = (g.qubit0(), g.qubit1());
+                let before = w.distance(self.map.physical(q0), self.map.physical(q1));
+                let after =
+                    w.distance(self.physical_after(q0, a, b), self.physical_after(q1, a, b));
+                delta += after - before;
+            }
+        }
+        delta + SWAP_NATIVE_COST * w.distance(a, b)
     }
 
     /// Applies an accepted SWAP to the working map and refreshes the
@@ -343,7 +394,7 @@ pub fn route<R: Rng + ?Sized>(
         swap: None,
     }];
 
-    let mut state = RouterState::new(initial_map.clone(), unrouted, circuit, device);
+    let mut state = RouterState::new(initial_map.clone(), unrouted, circuit, device, config.cost);
 
     // Safeguard against pathological non-progress: after this many SWAPs we
     // switch to a forced-progress selection rule.
@@ -477,8 +528,15 @@ fn select_swap<R: Rng + ?Sized>(
         // Criterion 0 (only in forced-progress mode): the selected gate's
         // distance after the SWAP — guarantees termination.
         let target_distance = f64::from(state.gate_distance_after(target_gate, swap.0, swap.1));
-        // Criterion 1: remaining Eq.-7 cost over all unrouted gates.
-        let remaining_cost = state.cost_after_swap(swap.0, swap.1);
+        // Criterion 1: remaining Eq.-7 cost over all unrouted gates — hop
+        // counts by default, −log-fidelity-weighted (plus the SWAP's own
+        // edge cost) in calibration-aware mode.  On a uniform target the
+        // weighted scores are the hop scores shifted by the constant
+        // SWAP_NATIVE_COST, so the selection (and its tie set) is identical.
+        let remaining_cost = match state.weighted {
+            None => state.cost_after_swap(swap.0, swap.1),
+            Some(w) => state.weighted_cost_after_swap(w, swap.0, swap.1),
+        };
         // Criterion 2: depth proxy — how busy the SWAP's qubits already are.
         let depth_cost = busy[swap.0].max(busy[swap.1]) as f64;
         // Criterion 3: can the SWAP be dressed? (better = lower score)
@@ -663,6 +721,7 @@ mod tests {
         let device = Device::montreal();
         let config = RoutingConfig {
             enable_dressing: false,
+            ..RoutingConfig::default()
         };
         let routed = route_with_tabu(&circuit, &device, 5, &config);
         check_routing_invariants(&routed, &circuit, &device);
@@ -680,6 +739,7 @@ mod tests {
             8,
             &RoutingConfig {
                 enable_dressing: false,
+                ..RoutingConfig::default()
             },
         );
         assert!(
@@ -706,6 +766,38 @@ mod tests {
             assert_eq!(expected, window[1].map);
         }
         assert!(routed.stages.last().unwrap().swap.is_none());
+    }
+
+    #[test]
+    fn calibration_aware_routing_matches_hop_count_on_uniform_target() {
+        let circuit = trotter_step(&nnn_heisenberg(12, 5), 1.0);
+        let device = Device::montreal();
+        assert!(device.target().is_uniform());
+        let aware = RoutingConfig {
+            cost: CostModel::CalibrationAware,
+            ..RoutingConfig::default()
+        };
+        for seed in [1u64, 4, 9] {
+            let hop = route_with_tabu(&circuit, &device, seed, &RoutingConfig::default());
+            let cal = route_with_tabu(&circuit, &device, seed, &aware);
+            assert_eq!(
+                hop, cal,
+                "seed {seed}: uniform target must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_aware_routing_stays_correct_on_heterogeneous_targets() {
+        let circuit = trotter_step(&nnn_heisenberg(12, 5), 1.0);
+        let device = Device::montreal().with_heterogeneous_calibration(21);
+        let config = RoutingConfig {
+            cost: CostModel::CalibrationAware,
+            ..RoutingConfig::default()
+        };
+        let routed = route_with_tabu(&circuit, &device, 3, &config);
+        check_routing_invariants(&routed, &circuit, &device);
+        assert!(routed.swap_count() > 0);
     }
 
     #[test]

@@ -3,9 +3,46 @@
 
 use crate::calibration::Calibration;
 use crate::gateset::{GateSet, TwoQubitBasis};
+use crate::target::Target;
 use crate::topologies;
 use std::sync::OnceLock;
-use twoqan_graphs::{DistanceMatrix, Graph};
+use twoqan_graphs::{DistanceMatrix, Graph, WeightedDistanceMatrix};
+
+/// The device's lazily computed all-pairs distance matrices: the hop-count
+/// matrix (one BFS per vertex) and the calibration-weighted matrix (one
+/// Dijkstra per vertex over −log-fidelity edge weights).  Both flavours
+/// share the single [`DistanceCaches::cached`] code path, so "compute once
+/// on first use, serve the cached reference afterwards" is written exactly
+/// once.
+#[derive(Debug, Clone, Default)]
+struct DistanceCaches {
+    hop: OnceLock<DistanceMatrix>,
+    weighted: OnceLock<WeightedDistanceMatrix>,
+}
+
+impl DistanceCaches {
+    /// The one lazily-cached code path both matrix flavours go through.
+    #[inline]
+    fn cached<T>(slot: &OnceLock<T>, build: impl FnOnce() -> T) -> &T {
+        slot.get_or_init(build)
+    }
+
+    fn hop(&self, topology: &Graph) -> &DistanceMatrix {
+        Self::cached(&self.hop, || DistanceMatrix::bfs(topology))
+    }
+
+    fn weighted(&self, topology: &Graph, target: &Target) -> &WeightedDistanceMatrix {
+        Self::cached(&self.weighted, || {
+            WeightedDistanceMatrix::dijkstra(topology, &|a, b| target.edge_weight(a, b))
+        })
+    }
+
+    /// Drops the calibration-weighted matrix (called whenever the target
+    /// changes); the hop matrix only depends on the topology and survives.
+    fn invalidate_weighted(&mut self) {
+        self.weighted = OnceLock::new();
+    }
+}
 
 /// A quantum device model the compiler can target.
 ///
@@ -24,11 +61,14 @@ use twoqan_graphs::{DistanceMatrix, Graph};
 pub struct Device {
     name: String,
     topology: Graph,
-    /// Lazily computed (one BFS per vertex) and cached for the lifetime of
-    /// the device, so repeated `distances()` calls never recompute.
-    distances: OnceLock<DistanceMatrix>,
+    /// Lazily computed hop-count and calibration-weighted distance
+    /// matrices, cached for the lifetime of the device.
+    distances: DistanceCaches,
     gate_set: GateSet,
     calibration: Calibration,
+    /// Per-qubit / per-edge calibration; a uniform replication of
+    /// `calibration` unless overridden.
+    target: Target,
 }
 
 impl Device {
@@ -45,12 +85,14 @@ impl Device {
         calibration: Calibration,
     ) -> Self {
         assert!(topology.is_connected(), "device topology must be connected");
+        let target = Target::uniform(&topology, &calibration);
         Self {
             name: name.into(),
             topology,
-            distances: OnceLock::new(),
+            distances: DistanceCaches::default(),
             gate_set,
             calibration,
+            target,
         }
     }
 
@@ -145,11 +187,42 @@ impl Device {
         d
     }
 
-    /// Returns a copy with different calibration data.
+    /// Returns a copy with different calibration data (the target is reset
+    /// to the uniform replication of the new averages).
     pub fn with_calibration(&self, calibration: Calibration) -> Self {
         let mut d = self.clone();
         d.calibration = calibration;
+        d.target = Target::uniform(&d.topology, &calibration);
+        d.distances.invalidate_weighted();
         d
+    }
+
+    /// Returns a copy with an explicit per-qubit/per-edge [`Target`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target's qubit count does not match the topology.
+    pub fn with_target(&self, target: Target) -> Self {
+        assert_eq!(
+            target.num_qubits(),
+            self.num_qubits(),
+            "target qubit count must match the device topology"
+        );
+        let mut d = self.clone();
+        d.target = target;
+        d.distances.invalidate_weighted();
+        d
+    }
+
+    /// Returns a copy with a deterministic seeded heterogeneous calibration
+    /// spread around this device's average calibration (see
+    /// [`Target::heterogeneous`]).
+    pub fn with_heterogeneous_calibration(&self, seed: u64) -> Self {
+        self.with_target(Target::heterogeneous(
+            &self.topology,
+            &self.calibration,
+            seed,
+        ))
     }
 
     /// The device name.
@@ -170,8 +243,15 @@ impl Device {
     /// The all-pairs hardware distance matrix (computed on first use with
     /// one BFS per vertex, then cached for the lifetime of the device).
     pub fn distances(&self) -> &DistanceMatrix {
-        self.distances
-            .get_or_init(|| DistanceMatrix::bfs(&self.topology))
+        self.distances.hop(&self.topology)
+    }
+
+    /// The calibration-weighted all-pairs distance matrix: shortest paths
+    /// over the target's normalised −log-fidelity edge weights (computed on
+    /// first use with one Dijkstra per vertex, then cached).  On a uniform
+    /// target this equals [`Device::distances`] exactly, entry for entry.
+    pub fn weighted_distances(&self) -> &WeightedDistanceMatrix {
+        self.distances.weighted(&self.topology, &self.target)
     }
 
     /// Distance between two hardware qubits.
@@ -204,6 +284,11 @@ impl Device {
     /// The calibration data.
     pub fn calibration(&self) -> &Calibration {
         &self.calibration
+    }
+
+    /// The per-qubit / per-edge calibration target.
+    pub fn target(&self) -> &Target {
+        &self.target
     }
 }
 
@@ -284,6 +369,56 @@ mod tests {
         assert_eq!(mon.distance(0, 1), 1);
         assert!(mon.distance(0, 26) >= 7);
         assert!(mon.are_adjacent(12, 15));
+    }
+
+    #[test]
+    fn uniform_weighted_distances_equal_hop_distances() {
+        let device = Device::montreal();
+        assert!(device.target().is_uniform());
+        let hop = device.distances();
+        let weighted = device.weighted_distances();
+        for a in 0..device.num_qubits() {
+            for b in 0..device.num_qubits() {
+                assert_eq!(
+                    weighted.distance(a, b),
+                    f64::from(hop.distance(a, b)),
+                    "({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_calibration_changes_weighted_but_not_hop_distances() {
+        let base = Device::montreal();
+        let het = base.with_heterogeneous_calibration(13);
+        assert!(!het.target().is_uniform());
+        assert_eq!(het.distances(), base.distances());
+        let mut any_differs = false;
+        for a in 0..het.num_qubits() {
+            for b in 0..het.num_qubits() {
+                if het.weighted_distances().distance(a, b)
+                    != base.weighted_distances().distance(a, b)
+                {
+                    any_differs = true;
+                }
+            }
+        }
+        assert!(any_differs, "heterogeneous weights must move some distance");
+        // Determinism: the same seed reproduces the same target.
+        let het2 = base.with_heterogeneous_calibration(13);
+        assert_eq!(het.target(), het2.target());
+    }
+
+    #[test]
+    fn with_target_rejects_mismatched_sizes() {
+        let device = Device::aspen();
+        let wrong = crate::target::Target::uniform(
+            &Graph::grid(2, 3),
+            &Calibration::montreal_october_2021(),
+        );
+        let result = std::panic::catch_unwind(|| device.with_target(wrong));
+        assert!(result.is_err());
     }
 
     #[test]

@@ -10,16 +10,22 @@
 //!   calibration data, with constructors for the three devices and for
 //!   generic grids / linear chains / all-to-all connectivity,
 //! * [`TwoQubitBasis`] and [`GateSet`] — the native-gate descriptions,
-//! * [`Calibration`] — error rates and coherence times (the Montreal values
-//!   quoted in §IV are included) used by the noise model in `twoqan-sim`.
+//! * [`Calibration`] — device-wide average error rates and coherence times
+//!   (the Montreal values quoted in §IV are included),
+//! * [`Target`] — the per-qubit / per-edge refinement of the averages the
+//!   calibration-aware compiler passes and the per-channel noise model in
+//!   `twoqan-sim` consume, with deterministic seeded heterogeneous
+//!   generators ([`Target::heterogeneous`]).
 
 #![deny(missing_docs)]
 
 pub mod calibration;
 pub mod device;
 pub mod gateset;
+pub mod target;
 pub mod topologies;
 
 pub use calibration::Calibration;
 pub use device::Device;
 pub use gateset::{GateSet, TwoQubitBasis};
+pub use target::{HeterogeneitySpread, Target};

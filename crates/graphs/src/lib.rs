@@ -26,6 +26,7 @@ pub mod parallel;
 pub mod qap;
 pub mod random_regular;
 pub mod tabu;
+pub mod weighted;
 
 pub use annealing::{annealing_schedule, simulated_annealing, AnnealingConfig, AnnealingResult};
 pub use coloring::{greedy_coloring, ColoringResult};
@@ -34,3 +35,4 @@ pub use graph::Graph;
 pub use qap::QapProblem;
 pub use random_regular::random_regular_graph;
 pub use tabu::{tabu_search, tabu_search_from, DeltaTable, TabuConfig, TabuResult};
+pub use weighted::WeightedDistanceMatrix;

@@ -12,6 +12,7 @@
 //! rows for cache-friendly scans.
 
 use crate::distance::DistanceMatrix;
+use crate::weighted::WeightedDistanceMatrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -110,6 +111,33 @@ impl QapProblem {
             for j in 0..m {
                 distance[i * m + j] = hardware.distance_f64(i, j);
             }
+        }
+        Self::from_flat(n, flow, m, distance)
+    }
+
+    /// Builds the qubit-mapping QAP with a *weighted* hardware distance
+    /// matrix — the calibration-aware variant of
+    /// [`from_interactions`](Self::from_interactions), where location
+    /// distances are −log-fidelity path costs instead of hop counts.  The
+    /// flow matrix (gate counts) is identical; only the distance side
+    /// changes, so the same Tabu/annealing solvers (and their delta tables)
+    /// apply unchanged.
+    pub fn from_interactions_weighted(
+        num_circuit_qubits: usize,
+        interactions: &[(usize, usize)],
+        hardware: &WeightedDistanceMatrix,
+    ) -> Self {
+        let n = num_circuit_qubits;
+        let mut flow = vec![0.0; n * n];
+        for &(a, b) in interactions {
+            assert!(a < n && b < n, "interaction qubit out of range");
+            flow[a * n + b] += 1.0;
+            flow[b * n + a] += 1.0;
+        }
+        let m = hardware.num_vertices();
+        let mut distance = vec![0.0; m * m];
+        for i in 0..m {
+            distance[i * m..(i + 1) * m].copy_from_slice(hardware.row(i));
         }
         Self::from_flat(n, flow, m, distance)
     }
@@ -419,6 +447,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn weighted_qap_matches_hop_qap_on_unit_weights() {
+        let g = Graph::path(4);
+        let interactions = [(0usize, 1usize), (1, 2), (0, 1)];
+        let hop = QapProblem::from_interactions(3, &interactions, &DistanceMatrix::bfs(&g));
+        let unit = WeightedDistanceMatrix::dijkstra(&g, &|_, _| 1.0);
+        let weighted = QapProblem::from_interactions_weighted(3, &interactions, &unit);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let a = hop.random_assignment(&mut rng);
+            assert_eq!(hop.cost(&a), weighted.cost(&a));
+            assert_eq!(hop.swap_delta(&a, 0, 2), weighted.swap_delta(&a, 0, 2));
+        }
+    }
+
+    #[test]
+    fn weighted_qap_prefers_low_error_locations() {
+        // Path 0–1–2–3 where the 2–3 edge is 10× more expensive: placing an
+        // interacting pair on (0, 1) must cost less than on (2, 3).
+        let g = Graph::path(4);
+        let weight = |a: usize, b: usize| {
+            if (a.min(b), a.max(b)) == (2, 3) {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let w = WeightedDistanceMatrix::dijkstra(&g, &weight);
+        let p = QapProblem::from_interactions_weighted(2, &[(0, 1)], &w);
+        assert!(p.cost(&[0, 1]) < p.cost(&[2, 3]));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod statevector;
 pub mod trajectories;
 
 pub use kernels::{CompiledCircuit, CompiledOp, SingleKernel, TwoKernel};
-pub use noise::NoiseModel;
+pub use noise::{EspBreakdown, NoiseModel, TargetNoiseModel};
 pub use qaoa_eval::{evaluate_qaoa, optimize_angles, QaoaEvaluation};
 pub use statevector::StateVector;
 pub use trajectories::{IsingCostTable, SimEngine, TrajectorySimulator};

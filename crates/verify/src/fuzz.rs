@@ -3,8 +3,10 @@
 //! Each fuzz *combo* draws one random workload and one random device; each
 //! combo is then compiled by **every** compiler in the workspace registry
 //! (`twoqan_baselines::CompilerRegistry`: 2QAN, the Qiskit-like and
-//! t|ket⟩-like generic baselines, IC-QAOA, Paulihedral and NoMap) and each
-//! compilation is checked for:
+//! t|ket⟩-like generic baselines, IC-QAOA, Paulihedral and NoMap) plus the
+//! calibration-aware `2QAN-noise` variant on a heterogeneous-target copy of
+//! the device (equivalence is cost-model-independent), and each compilation
+//! is checked for:
 //!
 //! * permutation-aware statevector equivalence at `≤ 1e-10` amplitude error
 //!   ([`crate::equivalence`]), in strict-order mode for order-respecting
@@ -36,8 +38,10 @@ use twoqan_device::Device;
 /// Configuration of a fuzzing run.
 #[derive(Debug, Clone)]
 pub struct FuzzConfig {
-    /// Number of (workload × device) combos; each combo runs every compiler,
-    /// so the case count is `combos × 6`.
+    /// Number of (workload × device) combos; each combo runs every registry
+    /// compiler plus the calibration-aware `2QAN-noise` variant on a
+    /// heterogeneous-target copy of the device, so the case count is
+    /// `combos × 7`.
     pub combos: usize,
     /// Master seed; case `i` derives its own generator from it.
     pub seed: u64,
@@ -46,7 +50,7 @@ pub struct FuzzConfig {
 }
 
 impl FuzzConfig {
-    /// The full conformance run: 34 combos × 6 compilers = 204 cases.
+    /// The full conformance run: 34 combos × 7 cases = 238.
     pub fn full() -> Self {
         Self {
             combos: 34,
@@ -55,12 +59,18 @@ impl FuzzConfig {
         }
     }
 
-    /// The CI smoke run: 5 combos × 6 compilers = 30 cases.
+    /// The CI smoke run: 5 combos × 7 cases = 35.
     pub fn smoke() -> Self {
         Self {
             combos: 5,
             ..Self::full()
         }
+    }
+
+    /// Cases per combo: the six registry compilers plus the
+    /// calibration-aware 2QAN variant.
+    pub fn cases_per_combo() -> usize {
+        CompilerRegistry::NAMES.len() + 1
     }
 }
 
@@ -237,7 +247,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> ConformanceReport {
         tolerance: config.tolerance,
         ..EquivalenceChecker::default()
     };
-    let compilers_per_combo = CompilerRegistry::NAMES.len();
+    let compilers_per_combo = FuzzConfig::cases_per_combo();
     let mut results = Vec::with_capacity(config.combos * compilers_per_combo);
     let mut case_id = 0usize;
     for combo in 0..config.combos {
@@ -259,8 +269,8 @@ pub fn run_fuzz(config: &FuzzConfig) -> ConformanceReport {
         // both stochastic compilers (2QAN's Tabu mapping, IC-QAOA's
         // annealing placement).
         let options = RegistryOptions::seeded(config.seed.wrapping_add(1000 + combo as u64), 1);
-        for compiler in CompilerRegistry::with_options(&options) {
-            let verified = verify_one(compiler.as_ref(), &workload.circuit, &device, &per_check);
+        let mut run_case = |compiler: &dyn Compiler, device: &Device, device_label: String| {
+            let verified = verify_one(compiler, &workload.circuit, device, &per_check);
             let (max_error, support) = match &verified.outcome {
                 Ok(report) => (report.max_amplitude_error, report.support_qubits),
                 Err(_) => (f64::NAN, 0),
@@ -270,11 +280,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> ConformanceReport {
                 workload: workload_kind.name(),
                 qubits: n,
                 app_gates,
-                device: if compiler.constrains_connectivity() {
-                    device.name().to_string()
-                } else {
-                    "all-to-all".to_string()
-                },
+                device: device_label,
                 compiler: compiler.name(),
                 mode: verified.mode.name(),
                 swaps: verified.swaps,
@@ -284,7 +290,25 @@ pub fn run_fuzz(config: &FuzzConfig) -> ConformanceReport {
                 failure: verified.outcome.err(),
             });
             case_id += 1;
+        };
+        for compiler in CompilerRegistry::with_options(&options) {
+            let label = if compiler.constrains_connectivity() {
+                device.name().to_string()
+            } else {
+                "all-to-all".to_string()
+            };
+            run_case(compiler.as_ref(), &device, label);
         }
+        // The calibration-aware 2QAN path, on a heterogeneous-target copy
+        // of the same device: equivalence must be cost-model-independent —
+        // steering routes through low-error edges may change the circuit,
+        // never its semantics.
+        let noisy_device =
+            device.with_heterogeneous_calibration(config.seed.wrapping_add(combo as u64));
+        let noise_aware = CompilerRegistry::by_name_with_options("2QAN-noise", &options)
+            .expect("the noise-aware 2QAN variant is registered by name");
+        let label = format!("{} (het)", noisy_device.name());
+        run_case(noise_aware.as_ref(), &noisy_device, label);
     }
     ConformanceReport {
         config: config.clone(),
@@ -299,7 +323,7 @@ mod tests {
     #[test]
     fn smoke_fuzz_run_passes_every_case() {
         let report = run_fuzz(&FuzzConfig::smoke());
-        assert_eq!(report.results.len(), 30);
+        assert_eq!(report.results.len(), 35);
         let failures = report.failures();
         assert!(
             failures.is_empty(),
@@ -317,10 +341,15 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(report.max_amplitude_error() <= 1e-10);
-        // Every registered compiler and both modes are exercised.
+        // Every registered compiler, the calibration-aware variant and both
+        // modes are exercised.
         for name in CompilerRegistry::NAMES {
             assert!(report.results.iter().any(|r| r.compiler == name));
         }
+        assert!(report
+            .results
+            .iter()
+            .any(|r| r.compiler == "2QAN-noise" && r.device.ends_with("(het)")));
         assert!(report.results.iter().any(|r| r.mode == "strict"));
         assert!(report.results.iter().any(|r| r.mode == "permutation"));
     }

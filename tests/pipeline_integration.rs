@@ -180,7 +180,7 @@ fn legacy_2qan_compile(
 ) -> twoqan_repro::twoqan::CompilationResult {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use twoqan_repro::twoqan::decompose::hardware_metrics;
+    use twoqan_repro::twoqan::decompose::hardware_metrics_with_target;
     use twoqan_repro::twoqan::mapping::initial_mapping_with;
     use twoqan_repro::twoqan::routing::route;
     use twoqan_repro::twoqan::scheduling::schedule;
@@ -198,7 +198,11 @@ fn legacy_2qan_compile(
         let map = initial_mapping_with(&prepared, device, &mapping_config, &mut rng).unwrap();
         let routed = route(&prepared, device, &map, &config.routing, &mut rng).unwrap();
         let hardware_circuit = schedule(&routed, device, config.scheduling);
-        let metrics = hardware_metrics(&hardware_circuit, device.default_basis());
+        let metrics = hardware_metrics_with_target(
+            &hardware_circuit,
+            device.default_basis(),
+            device.target(),
+        );
         let candidate = CompilationResult {
             initial_map: map,
             routed,
@@ -275,6 +279,107 @@ fn pipelined_2qan_is_bit_identical_to_the_pre_refactor_path() {
             assert_eq!(report.trials, config.mapping_trials, "{name}");
         }
     }
+}
+
+#[test]
+fn calibration_aware_compilation_is_bit_identical_on_uniform_targets() {
+    // Acceptance criterion: with uniform calibration the noise-aware
+    // mapping/routing/scheduling outputs must be bit-identical to the
+    // hop-count path — every edge weight is exactly 1, the weighted QAP and
+    // router scores coincide with the hop scores (including tie sets), and
+    // the portfolio degenerates to the single legacy pipeline.
+    use twoqan_repro::twoqan::CostModel;
+    let device = Device::montreal();
+    assert!(device.target().is_uniform());
+    let (gamma, beta) = QaoaProblem::optimal_p1_angles_regular3();
+    for (name, circuit) in [
+        (
+            "heisenberg-12",
+            trotterize(&nnn_heisenberg(12, 12000), 1, 1.0),
+        ),
+        ("ising-14", trotterize(&nnn_ising(14, 14000), 1, 1.0)),
+        (
+            "qaoa-10",
+            QaoaProblem::random_regular(10, 3, 10000).circuit(&[(gamma, beta)], false),
+        ),
+    ] {
+        let hop = TwoQanCompiler::new(TwoQanConfig::default())
+            .compile(&circuit, &device)
+            .unwrap();
+        let aware = TwoQanCompiler::new(TwoQanConfig {
+            cost_model: CostModel::CalibrationAware,
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
+        assert_eq!(
+            hop, aware,
+            "{name}: uniform-target calibration-aware compilation diverged"
+        );
+    }
+}
+
+#[test]
+fn calibration_aware_compilation_never_loses_esp_on_heterogeneous_targets() {
+    // The calibration-aware compiler is a portfolio over {hop-count,
+    // weighted} pipelines selected by estimated success probability, so on
+    // any heterogeneous target its ESP is at least the hop-count
+    // compiler's; across seeds it must strictly win somewhere.
+    use twoqan_repro::twoqan::decompose::estimated_success_probability;
+    use twoqan_repro::twoqan::CostModel;
+    let circuit = trotterize(&nnn_ising(12, 7), 1, 1.0);
+    let mut strict_win = false;
+    for calib_seed in [1u64, 2, 3] {
+        let device = Device::montreal().with_heterogeneous_calibration(calib_seed);
+        let hop = TwoQanCompiler::new(TwoQanConfig::default())
+            .compile(&circuit, &device)
+            .unwrap();
+        let aware = TwoQanCompiler::new(TwoQanConfig {
+            cost_model: CostModel::CalibrationAware,
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
+        assert!(aware.hardware_compatible(&device), "seed {calib_seed}");
+        let esp_hop =
+            estimated_success_probability(&hop.hardware_circuit, hop.basis, device.target());
+        let esp_aware =
+            estimated_success_probability(&aware.hardware_circuit, aware.basis, device.target());
+        assert!(
+            esp_aware >= esp_hop - 1e-12,
+            "seed {calib_seed}: {esp_aware} < {esp_hop}"
+        );
+        if esp_aware > esp_hop + 1e-12 {
+            strict_win = true;
+        }
+    }
+    assert!(
+        strict_win,
+        "calibration awareness should strictly improve ESP on at least one seed"
+    );
+}
+
+#[test]
+fn core_esp_matches_the_sim_target_noise_model() {
+    // The compiler-side ESP scorer and the sim-side per-channel noise model
+    // must agree on the same schedule/target.
+    use twoqan_repro::twoqan::decompose::{estimated_success_probability, timeline_with_target};
+    use twoqan_repro::twoqan_sim::TargetNoiseModel;
+    let device = Device::montreal().with_heterogeneous_calibration(5);
+    let circuit = trotterize(&nnn_heisenberg(10, 3), 1, 1.0);
+    let result = compile_2qan(&circuit, &device);
+    let core_esp =
+        estimated_success_probability(&result.hardware_circuit, result.basis, device.target());
+    let timeline = timeline_with_target(&result.hardware_circuit, result.basis, device.target());
+    let sim_esp = TargetNoiseModel::from_device(&device).esp(
+        &result.hardware_circuit,
+        &timeline,
+        &timeline.used_qubits(),
+    );
+    assert!(
+        (core_esp - sim_esp).abs() < 1e-12,
+        "core {core_esp} vs sim {sim_esp}"
+    );
 }
 
 #[test]

@@ -183,6 +183,91 @@ fn pipeline_preserves_operators_on_random_grids() {
     });
 }
 
+/// The duration-aware timeline preserves the per-qubit dependency DAG of
+/// the schedule it times: for every qubit, the gates acting on it occupy
+/// disjoint, monotonically increasing intervals in exactly the schedule's
+/// per-qubit order — for random circuits compiled end to end onto
+/// heterogeneous random-calibration devices.
+#[test]
+fn duration_schedule_preserves_the_per_qubit_dependency_dag() {
+    use twoqan_repro::twoqan::decompose::timeline_with_target;
+    for_random_cases(16, 601, |rng| {
+        let n = rng.gen_range(4..=9usize);
+        let circuit = arbitrary_circuit(n, rng);
+        let device = Device::grid(3, 4, TwoQubitBasis::Cnot)
+            .with_heterogeneous_calibration(rng.gen_range(0..1_000_000u64));
+        let result = TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 1,
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
+        let schedule = &result.hardware_circuit;
+        let timeline = timeline_with_target(schedule, result.basis, device.target());
+        assert_eq!(timeline.gates().len(), schedule.gate_count());
+        // Per qubit: the timed gates appear in schedule order with
+        // non-overlapping, monotonically increasing intervals.
+        for q in 0..schedule.num_qubits() {
+            let mut last_end = 0.0f64;
+            for (timed, original) in timeline
+                .gates()
+                .iter()
+                .zip(schedule.iter_gates())
+                .filter(|(_, g)| g.acts_on(q))
+            {
+                assert_eq!(timed.gate, *original, "qubit {q}: order changed");
+                assert!(
+                    timed.start_ns >= last_end,
+                    "qubit {q}: gate {} overlaps its predecessor",
+                    timed.gate
+                );
+                last_end = timed.end_ns();
+            }
+            assert!(last_end <= timeline.total_ns() + 1e-9);
+            // Idle accounting: busy + idle covers the makespan for used
+            // qubits.
+            if timeline.is_used(q) {
+                assert!(
+                    (timeline.busy_ns(q) + timeline.idle_ns(q) - timeline.total_ns()).abs() < 1e-6
+                );
+            }
+        }
+    });
+}
+
+/// With all gate durations equal, the duration-aware timeline degenerates
+/// to the existing ALAP/ASAP cycle schedule bit for bit: every gate's start
+/// time is exactly its moment index and the makespan is the depth.
+#[test]
+fn unit_duration_timeline_reproduces_the_cycle_schedule() {
+    use twoqan_repro::twoqan_circuit::Timeline;
+    for_random_cases(16, 602, |rng| {
+        let n = rng.gen_range(4..=9usize);
+        let circuit = arbitrary_circuit(n, rng);
+        let device = Device::grid(3, 3, TwoQubitBasis::Cnot);
+        let result = TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 1,
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
+        let schedule = &result.hardware_circuit;
+        let timeline = Timeline::schedule(schedule, |_| 1.0);
+        let mut gate_idx = 0usize;
+        for (moment_idx, moment) in schedule.moments().iter().enumerate() {
+            for _ in moment.gates() {
+                assert_eq!(
+                    timeline.gates()[gate_idx].start_ns,
+                    moment_idx as f64,
+                    "gate {gate_idx} start must equal its cycle index"
+                );
+                gate_idx += 1;
+            }
+        }
+        assert_eq!(timeline.total_ns(), schedule.depth() as f64);
+    });
+}
+
 /// The generic baselines also always produce hardware-compatible
 /// circuits and never merge SWAPs.
 #[test]
