@@ -91,21 +91,15 @@ impl GenericCompiler {
         ])
     }
 
-    /// Compiles a circuit onto a device, respecting the input gate order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the circuit has more qubits than the device, or if a
-    /// pipeline pass fails (use the [`Compiler`] trait entry point for a
-    /// `Result`).
-    pub fn compile(&self, circuit: &Circuit, device: &Device) -> BaselineResult {
-        match Compiler::compile(self, circuit, device) {
-            Ok(out) => out.into(),
-            Err(e @ CompileError::TooManyQubits { .. }) => {
-                panic!("circuit does not fit on the device: {e}")
-            }
-            Err(e) => panic!("{} compilation failed: {e}", self.config.name),
-        }
+    /// Compiles a circuit onto a device, respecting the input gate order
+    /// and propagating pipeline failures (for instance an oversized
+    /// circuit) as typed errors.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+    ) -> Result<BaselineResult, CompileError> {
+        Compiler::compile(self, circuit, device).map(BaselineResult::from)
     }
 }
 
@@ -138,7 +132,7 @@ mod tests {
         let circuit = trotter_step(&nnn_heisenberg(10, 3), 1.0);
         let device = Device::montreal();
         for compiler in [GenericCompiler::qiskit_like(), GenericCompiler::tket_like()] {
-            let r = compiler.compile(&circuit, &device);
+            let r = compiler.compile(&circuit, &device).unwrap();
             assert!(r.hardware_compatible(&device), "{}", r.compiler);
             // All 17 application gates survive (never merged into SWAPs).
             assert_eq!(r.metrics.application_two_qubit_count - r.swap_count(), 17);
@@ -155,9 +149,11 @@ mod tests {
             let device = Device::montreal();
             qiskit_total += GenericCompiler::qiskit_like()
                 .compile(&circuit, &device)
+                .unwrap()
                 .swap_count();
             tket_total += GenericCompiler::tket_like()
                 .compile(&circuit, &device)
+                .unwrap()
                 .swap_count();
         }
         assert!(
@@ -171,7 +167,9 @@ mod tests {
         let problem = QaoaProblem::random_regular(12, 3, 1);
         let circuit = problem.circuit(&[(0.6, 0.4)], true);
         for device in [Device::sycamore(), Device::montreal(), Device::aspen()] {
-            let r = GenericCompiler::tket_like().compile(&circuit, &device);
+            let r = GenericCompiler::tket_like()
+                .compile(&circuit, &device)
+                .unwrap();
             assert!(r.hardware_compatible(&device), "{}", device.name());
             assert!(r.swap_count() > 0);
         }
@@ -184,10 +182,14 @@ mod tests {
             circuit.push(Gate::canonical(i, i + 1, 0.0, 0.0, 0.2));
         }
         let device = Device::linear(6, TwoQubitBasis::Cnot);
-        let r = GenericCompiler::tket_like().compile(&circuit, &device);
+        let r = GenericCompiler::tket_like()
+            .compile(&circuit, &device)
+            .unwrap();
         assert_eq!(r.swap_count(), 0);
         // Trivial placement on a line also works for an ordered chain.
-        let r2 = GenericCompiler::qiskit_like().compile(&circuit, &device);
+        let r2 = GenericCompiler::qiskit_like()
+            .compile(&circuit, &device)
+            .unwrap();
         assert_eq!(r2.swap_count(), 0);
     }
 
@@ -219,9 +221,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not fit")]
-    fn rejects_oversized_circuits() {
+    fn rejects_oversized_circuits_with_a_typed_error() {
         let circuit = trotter_step(&nnn_ising(20, 0), 1.0);
-        let _ = GenericCompiler::qiskit_like().compile(&circuit, &Device::aspen());
+        let result = GenericCompiler::qiskit_like().compile(&circuit, &Device::aspen());
+        assert!(matches!(result, Err(CompileError::TooManyQubits { .. })));
     }
 }

@@ -52,21 +52,14 @@ impl IcQaoaCompiler {
         ])
     }
 
-    /// Compiles a (QAOA-style) circuit onto a device.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the circuit has more qubits than the device, or if a
-    /// pipeline pass fails (use the [`Compiler`] trait entry point for a
-    /// `Result`).
-    pub fn compile(&self, circuit: &Circuit, device: &Device) -> BaselineResult {
-        match Compiler::compile(self, circuit, device) {
-            Ok(out) => out.into(),
-            Err(e @ CompileError::TooManyQubits { .. }) => {
-                panic!("circuit does not fit on the device: {e}")
-            }
-            Err(e) => panic!("IC-QAOA compilation failed: {e}"),
-        }
+    /// Compiles a (QAOA-style) circuit onto a device, propagating pipeline
+    /// failures (for instance an oversized circuit) as typed errors.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+    ) -> Result<BaselineResult, CompileError> {
+        Compiler::compile(self, circuit, device).map(BaselineResult::from)
     }
 }
 
@@ -94,7 +87,9 @@ mod tests {
         let problem = QaoaProblem::random_regular(12, 3, 3);
         let circuit = problem.circuit(&[(0.6, 0.4)], true);
         let device = Device::montreal();
-        let r = IcQaoaCompiler::default().compile(&circuit, &device);
+        let r = IcQaoaCompiler::default()
+            .compile(&circuit, &device)
+            .unwrap();
         assert!(r.hardware_compatible(&device));
         assert_eq!(r.metrics.dressed_swap_count, 0);
         assert_eq!(
@@ -111,7 +106,9 @@ mod tests {
             circuit.push(Gate::canonical(a, b, 0.0, 0.0, 0.5));
         }
         let device = Device::grid(2, 3, twoqan_device::TwoQubitBasis::Cnot);
-        let r = IcQaoaCompiler::default().compile(&circuit, &device);
+        let r = IcQaoaCompiler::default()
+            .compile(&circuit, &device)
+            .unwrap();
         assert!(r.hardware_compatible(&device));
         assert_eq!(
             r.swap_count(),
@@ -125,8 +122,8 @@ mod tests {
         let problem = QaoaProblem::random_regular(10, 3, 7);
         let circuit = problem.circuit(&[(0.5, 0.3)], false);
         let device = Device::aspen();
-        let a = IcQaoaCompiler::new(5).compile(&circuit, &device);
-        let b = IcQaoaCompiler::new(5).compile(&circuit, &device);
+        let a = IcQaoaCompiler::new(5).compile(&circuit, &device).unwrap();
+        let b = IcQaoaCompiler::new(5).compile(&circuit, &device).unwrap();
         assert_eq!(a.swap_count(), b.swap_count());
         assert_eq!(
             a.metrics.hardware_two_qubit_count,

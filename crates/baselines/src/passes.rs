@@ -16,7 +16,7 @@ use twoqan::pipeline::{CompilationContext, Pass};
 use twoqan::{CompileError, QubitMap};
 use twoqan_circuit::{Circuit, Gate, ScheduledCircuit};
 use twoqan_device::Device;
-use twoqan_graphs::{simulated_annealing, AnnealingConfig, QapProblem};
+use twoqan_graphs::{simulated_annealing_budgeted, AnnealingConfig, QapProblem};
 
 /// The order-respecting baselines' initial-placement pass: either the
 /// trivial identity placement (Qiskit-like) or placement of logical qubits
@@ -75,7 +75,12 @@ impl Pass for AnnealingPlacementPass {
             &ctx.circuit.interaction_pairs(),
             device.distances(),
         );
-        let solution = simulated_annealing(&qap, &AnnealingConfig::default(), &mut ctx.rng);
+        let solution = simulated_annealing_budgeted(
+            &qap,
+            &AnnealingConfig::default(),
+            &ctx.budget,
+            &mut ctx.rng,
+        );
         let placement = solution.assignment[..ctx.circuit.num_qubits()].to_vec();
         ctx.set_placement(QubitMap::from_assignment(&placement, device.num_qubits()));
         Ok(())

@@ -69,20 +69,26 @@ impl PaulihedralCompiler {
     }
 
     /// Compiles a Hamiltonian's single Trotter step onto a
-    /// connectivity-constrained device.
+    /// connectivity-constrained device, propagating pipeline failures as
+    /// typed errors.
     pub fn compile_hamiltonian(
         &self,
         hamiltonian: &Hamiltonian,
         dt: f64,
         device: &Device,
-    ) -> BaselineResult {
+    ) -> Result<BaselineResult, CompileError> {
         let circuit = self.block_ordered_circuit(hamiltonian, dt);
         self.compile(&circuit, device)
     }
 
     /// Compiles an already-built circuit onto a device using block ordering
-    /// plus order-respecting routing.
-    pub fn compile(&self, circuit: &Circuit, device: &Device) -> BaselineResult {
+    /// plus order-respecting routing, propagating pipeline failures as
+    /// typed errors.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+    ) -> Result<BaselineResult, CompileError> {
         self.generic().compile(circuit, device)
     }
 
@@ -168,7 +174,9 @@ mod tests {
         let problem = QaoaProblem::random_regular(20, 4, 3);
         let circuit = problem.circuit(&[(0.6, 0.4)], false);
         let device = Device::montreal();
-        let r = PaulihedralCompiler::new().compile(&circuit, &device);
+        let r = PaulihedralCompiler::new()
+            .compile(&circuit, &device)
+            .unwrap();
         assert!(r.hardware_compatible(&device));
         assert!(r.swap_count() > 0);
         assert_eq!(r.compiler, "Paulihedral-like");

@@ -60,40 +60,6 @@ fn summarise(report: &ConformanceReport) -> Table {
     table
 }
 
-fn to_json(report: &ConformanceReport) -> String {
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"suite\": \"conformance_fuzz\",\n");
-    json.push_str(&format!("  \"combos\": {},\n", report.config.combos));
-    json.push_str(&format!("  \"seed\": {},\n", report.config.seed));
-    json.push_str(&format!(
-        "  \"tolerance\": {:.1e},\n",
-        report.config.tolerance
-    ));
-    json.push_str(&format!("  \"cases\": {},\n", report.results.len()));
-    json.push_str(&format!("  \"passed\": {},\n", report.passed()));
-    json.push_str(&format!(
-        "  \"max_amplitude_error\": {:.3e},\n",
-        report.max_amplitude_error()
-    ));
-    json.push_str("  \"failures\": [\n");
-    let failures = report.failures();
-    for (i, f) in failures.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"case\": {}, \"workload\": \"{}\", \"device\": \"{}\", \"compiler\": \"{}\", \"reason\": \"{}\"}}{}\n",
-            f.case_id,
-            f.workload,
-            f.device,
-            f.compiler,
-            f.failure.as_deref().unwrap_or("").replace('"', "'"),
-            if i + 1 == failures.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n");
-    json.push_str("}\n");
-    json
-}
-
 fn main() {
     let mut config = FuzzConfig::full();
     let mut out = String::from("VERIFY_conformance.json");
@@ -147,7 +113,7 @@ fn main() {
         csv_path.display()
     );
 
-    let json = to_json(&report);
+    let json = report.to_json();
     std::fs::write(&out, &json).expect("writing the conformance summary");
     println!("wrote {out}");
 

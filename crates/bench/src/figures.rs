@@ -400,7 +400,9 @@ pub fn run_table3() -> Table {
         for instance in 0..instances {
             let problem = QaoaProblem::random_regular(20, degree, 77 + instance as u64);
             let circuit = problem.circuit(&[QaoaProblem::optimal_p1_angles_regular3()], false);
-            let p = paulihedral.compile(&circuit, &device);
+            let p = paulihedral
+                .compile(&circuit, &device)
+                .expect("20-qubit QAOA fits on Montreal");
             let q = TwoQanCompiler::new(TwoQanConfig::default())
                 .compile(&circuit, &device)
                 .expect("20-qubit QAOA fits on Montreal");

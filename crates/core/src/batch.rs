@@ -5,9 +5,16 @@
 //! `std::thread::scope` workers while keeping the result order identical to
 //! the job order (and therefore identical to a serial run), so sweeps stay
 //! reproducible regardless of thread count.
+//!
+//! Every job runs inside a `catch_unwind` isolation boundary: a panicking
+//! compiler produces a [`CompileError::Internal`] in that job's result slot
+//! instead of unwinding across the scope and sinking the whole batch.  A
+//! configurable per-job retry policy ([`BatchCompiler::with_retries`])
+//! re-runs failed jobs a bounded number of times, for transient faults.
 
 use crate::error::CompileError;
 use crate::pipeline::{CompiledOutput, Compiler};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use twoqan_circuit::Circuit;
@@ -44,12 +51,16 @@ impl std::fmt::Debug for BatchJob<'_> {
 #[derive(Debug, Clone, Copy)]
 pub struct BatchCompiler {
     threads: usize,
+    retries: usize,
 }
 
 impl Default for BatchCompiler {
-    /// One worker per available CPU core.
+    /// One worker per available CPU core, no retries.
     fn default() -> Self {
-        Self { threads: 0 }
+        Self {
+            threads: 0,
+            retries: 0,
+        }
     }
 }
 
@@ -57,7 +68,18 @@ impl BatchCompiler {
     /// Creates a driver with the given worker count (`0` = one worker per
     /// available CPU core).
     pub fn new(threads: usize) -> Self {
-        Self { threads }
+        Self {
+            threads,
+            retries: 0,
+        }
+    }
+
+    /// Sets the per-job retry budget: a job whose compile fails (typed
+    /// error or caught panic) is re-run up to `retries` additional times;
+    /// the first success wins, otherwise the *last* failure is reported.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
     }
 
     /// The worker count a batch of `jobs` jobs would use.
@@ -91,7 +113,7 @@ impl BatchCompiler {
                         break;
                     }
                     let job = &jobs[i];
-                    let result = job.compiler.compile(job.circuit, job.device);
+                    let result = self.compile_isolated(job);
                     *slots[i].lock().expect("no worker panics while writing") = Some(result);
                 });
             }
@@ -104,6 +126,33 @@ impl BatchCompiler {
                     .expect("every job index below jobs.len() was claimed")
             })
             .collect()
+    }
+
+    /// Runs one job behind a `catch_unwind` boundary with the configured
+    /// retry budget.  A panic becomes [`CompileError::Internal`] carrying
+    /// the panic payload; it never unwinds into the worker loop.
+    fn compile_isolated(&self, job: &BatchJob<'_>) -> Result<CompiledOutput, CompileError> {
+        let mut last = None;
+        for _ in 0..=self.retries {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                job.compiler.compile(job.circuit, job.device)
+            }))
+            .unwrap_or_else(|payload| {
+                let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(CompileError::Internal { detail })
+            });
+            match attempt {
+                Ok(output) => return Ok(output),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt always runs"))
     }
 }
 
@@ -176,6 +225,127 @@ mod tests {
             Err(CompileError::TooManyQubits { .. })
         ));
         assert!(results[2].is_ok());
+    }
+
+    /// Serialises the tests that replace the global panic hook.
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    /// A compiler that panics on every call.
+    struct PanickyCompiler;
+    impl Compiler for PanickyCompiler {
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+        fn compile(
+            &self,
+            _circuit: &Circuit,
+            _device: &Device,
+        ) -> Result<CompiledOutput, CompileError> {
+            panic!("deliberate test panic: poisoned job");
+        }
+    }
+
+    /// A compiler that fails `failures` times before delegating to 2QAN.
+    struct FlakyCompiler {
+        inner: TwoQanCompiler,
+        failures: AtomicUsize,
+    }
+    impl Compiler for FlakyCompiler {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn compile(
+            &self,
+            circuit: &Circuit,
+            device: &Device,
+        ) -> Result<CompiledOutput, CompileError> {
+            if self
+                .failures
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |f| {
+                    (f > 0).then(|| f - 1)
+                })
+                .is_ok()
+            {
+                panic!("deliberate transient panic");
+            }
+            Compiler::compile(&self.inner, circuit, device)
+        }
+    }
+
+    #[test]
+    fn panicking_jobs_become_internal_errors_without_sinking_the_batch() {
+        let device = Device::montreal();
+        let circuit = trotter_step(&nnn_ising(6, 1), 1.0);
+        let good = compiler();
+        let bad = PanickyCompiler;
+        let jobs = [
+            BatchJob {
+                circuit: &circuit,
+                device: &device,
+                compiler: &good,
+            },
+            BatchJob {
+                circuit: &circuit,
+                device: &device,
+                compiler: &bad,
+            },
+            BatchJob {
+                circuit: &circuit,
+                device: &device,
+                compiler: &good,
+            },
+        ];
+        // Silence the default panic-hook backtrace noise for the expected panic.
+        let _guard = HOOK_LOCK.lock().unwrap();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let results = BatchCompiler::new(2).compile_batch(&jobs);
+        std::panic::set_hook(hook);
+        assert!(results[0].is_ok());
+        match &results[1] {
+            Err(CompileError::Internal { detail }) => {
+                assert!(detail.contains("poisoned job"), "detail: {detail}");
+            }
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn retry_budget_recovers_transient_failures_and_is_bounded() {
+        let device = Device::montreal();
+        let circuit = trotter_step(&nnn_ising(6, 1), 1.0);
+        let _guard = HOOK_LOCK.lock().unwrap();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // Two transient failures + two retries → recovered.
+        let flaky = FlakyCompiler {
+            inner: compiler(),
+            failures: AtomicUsize::new(2),
+        };
+        let jobs = [BatchJob {
+            circuit: &circuit,
+            device: &device,
+            compiler: &flaky,
+        }];
+        let results = BatchCompiler::new(1).with_retries(2).compile_batch(&jobs);
+        assert!(results[0].is_ok(), "{:?}", results[0].as_ref().err());
+        // Three failures + one retry → still fails, with a typed error.
+        let flaky = FlakyCompiler {
+            inner: compiler(),
+            failures: AtomicUsize::new(3),
+        };
+        let jobs = [BatchJob {
+            circuit: &circuit,
+            device: &device,
+            compiler: &flaky,
+        }];
+        let results = BatchCompiler::new(1).with_retries(1).compile_batch(&jobs);
+        std::panic::set_hook(hook);
+        assert!(matches!(results[0], Err(CompileError::Internal { .. })));
+        // The retry budget was respected: only 2 attempts consumed 2 of the
+        // 3 planted failures.
+        assert_eq!(flaky.failures.load(Ordering::SeqCst), 1);
     }
 
     #[test]

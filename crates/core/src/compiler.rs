@@ -1,15 +1,19 @@
 //! The end-to-end 2QAN compilation pipeline.
 
+use crate::budget::CompileBudget;
 use crate::error::CompileError;
+use crate::fault::FaultInjector;
 use crate::mapping::{CostModel, InitialMappingStrategy, MappingConfig, QubitMap};
 use crate::passes::{
     AlapSchedulePass, DecomposePass, PermutationRoutingPass, QapMappingPass, UnifyPass,
 };
 use crate::pipeline::{
-    CompilationContext, CompiledOutput, Compiler, PassManager, PassRecord, PipelineReport,
+    CompilationContext, CompiledOutput, Compiler, DegradationRung, PassManager, PassRecord,
+    PipelineReport,
 };
 use crate::routing::{RoutedCircuit, RoutingConfig};
 use crate::scheduling::SchedulingStrategy;
+use std::sync::Arc;
 use twoqan_circuit::{Circuit, Gate, GateKind, HardwareMetrics, Moment, ScheduledCircuit};
 use twoqan_device::{Device, TwoQubitBasis};
 use twoqan_graphs::{AnnealingConfig, TabuConfig};
@@ -46,6 +50,11 @@ pub struct TwoQanConfig {
     /// qubits/edges; on a uniform target it reproduces the hop-count
     /// compilation bit for bit.
     pub cost_model: CostModel,
+    /// Wall-clock deadline / cancellation budget for the compilation.  The
+    /// default is unlimited (bit-identical to a compiler without budget
+    /// support); under a limited budget the compiler degrades along the
+    /// [`DegradationRung`] ladder instead of erroring.
+    pub budget: CompileBudget,
 }
 
 impl Default for TwoQanConfig {
@@ -60,6 +69,7 @@ impl Default for TwoQanConfig {
             seed: 2021,
             unify_input: true,
             cost_model: CostModel::HopCount,
+            budget: CompileBudget::unlimited(),
         }
     }
 }
@@ -198,17 +208,29 @@ fn scale_gate(gate: &Gate, gamma_scale: f64, beta_scale: f64) -> Gate {
 #[derive(Debug, Clone, Default)]
 pub struct TwoQanCompiler {
     config: TwoQanConfig,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl TwoQanCompiler {
     /// Creates a compiler with the given configuration.
     pub fn new(config: TwoQanConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            faults: None,
+        }
     }
 
     /// The compiler configuration.
     pub fn config(&self) -> &TwoQanConfig {
         &self.config
+    }
+
+    /// Attaches a chaos-testing fault injector, consulted before every pass
+    /// of every pipeline run (see [`crate::fault`]).  Production compilers
+    /// never attach one; the hook costs nothing when absent.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
     }
 
     /// The pass pipeline this configuration describes: `[unify,
@@ -256,11 +278,22 @@ impl TwoQanCompiler {
     /// from the winning trial.  The deterministic unifying pre-pass is
     /// hoisted out of the trial loop (it would produce the same circuit
     /// every trial), so its report entry is a single measurement.
+    ///
+    /// Under a limited [`CompileBudget`] the planned portfolio degrades
+    /// along an explicit ladder instead of erroring: the budget is checked
+    /// between pipeline runs (and, inside the mapping pass, per solver
+    /// sweep), so an expired deadline truncates the portfolio to whatever
+    /// runs completed — the first of which is always a hop-count pipeline.
+    /// If not even one run completed (deadline already expired on entry, or
+    /// every run failed), a trivial-placement + routing fallback that always
+    /// terminates produces the result.  The report records the rung that
+    /// ran, the configured deadline and the budget actually consumed.
     pub fn compile_with_report(
         &self,
         circuit: &Circuit,
         device: &Device,
     ) -> Result<(CompilationResult, PipelineReport), CompileError> {
+        let armed = self.config.budget.arm();
         let trials = self.config.mapping_trials.max(1);
         // Unify once, up front: the pre-pass draws no randomness, so every
         // trial would redo identical work.
@@ -324,14 +357,40 @@ impl TwoQanCompiler {
         };
         let mut best: Option<(CompilationResult, f64)> = None;
         let mut report = PipelineReport::default();
-        for trial in 0..trials {
+        let planned = trials * pipelines.len();
+        let mut completed = 0usize;
+        let mut first_error: Option<CompileError> = None;
+        // A budget that expired before any work was done (zero deadline,
+        // pre-cancelled token) sends the compilation straight to the
+        // trivial fallback — even the anytime solvers' setup would waste
+        // the caller's remaining time.
+        let skip_portfolio = armed.is_limited() && armed.expired();
+        'portfolio: for trial in 0..trials {
             for pipeline in &pipelines {
+                if skip_portfolio || (completed > 0 && armed.expired()) {
+                    break 'portfolio;
+                }
                 let mut ctx = CompilationContext::for_device(
                     prepared.clone(),
                     device,
                     self.config.seed.wrapping_add(trial as u64),
                 );
-                let trial_report = pipeline.run(&mut ctx)?;
+                ctx.budget = armed.clone();
+                ctx.faults = self.faults.clone();
+                // A failing pipeline run drops out of the portfolio instead
+                // of aborting the compilation: later runs (or the fallback)
+                // may still succeed.  The first error is kept for the case
+                // where nothing does.
+                let trial_report = match pipeline.run(&mut ctx) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                        continue;
+                    }
+                };
+                completed += 1;
                 let timeline = ctx.timeline.take();
                 let candidate = CompilationResult {
                     initial_map: ctx
@@ -377,12 +436,72 @@ impl TwoQanCompiler {
                 }
             }
         }
-        let best = best.map(|(candidate, _)| candidate);
+        let mut best = best.map(|(candidate, _)| candidate);
+        let mut rung = if completed == planned {
+            DegradationRung::Full
+        } else {
+            DegradationRung::SinglePipeline
+        };
+        if best.is_none() {
+            // Bottom rung: trivial placement + routing, no iterative search.
+            rung = DegradationRung::TrivialFallback;
+            match self.trivial_fallback(&prepared, device, &mut report) {
+                Ok(result) => best = Some(result),
+                Err(fallback_err) => return Err(first_error.unwrap_or(fallback_err)),
+            }
+        }
         if let Some(record) = unify_record {
             report.total_ms += record.wall_ms;
             report.passes.insert(0, record);
         }
-        Ok((best.expect("at least one trial is always run"), report))
+        report.rung = rung;
+        report.deadline_ms = self.config.budget.deadline.map(|d| d.as_secs_f64() * 1e3);
+        report.budget_consumed_ms = armed.consumed().as_secs_f64() * 1e3;
+        Ok((
+            best.expect("portfolio or fallback produced a result"),
+            report,
+        ))
+    }
+
+    /// The bottom rung of the degradation ladder: identity placement,
+    /// hop-count routing and scheduling — no iterative search anywhere, so
+    /// it terminates regardless of how little budget remains.  Runs under
+    /// the compiler's fault injector (if any) so chaos runs exercise the
+    /// fallback path too.
+    fn trivial_fallback(
+        &self,
+        prepared: &Circuit,
+        device: &Device,
+        report: &mut PipelineReport,
+    ) -> Result<CompilationResult, CompileError> {
+        let pipeline = PassManager::with_passes(vec![
+            Box::new(QapMappingPass::new(MappingConfig {
+                strategy: InitialMappingStrategy::Trivial,
+                cost: CostModel::HopCount,
+                ..self.config.mapping_config()
+            })) as Box<dyn crate::pipeline::Pass>,
+            Box::new(PermutationRoutingPass::new(RoutingConfig {
+                cost: CostModel::HopCount,
+                ..self.config.routing_config()
+            })),
+            Box::new(AlapSchedulePass::new(self.config.scheduling)),
+            Box::new(DecomposePass),
+        ]);
+        let mut ctx = CompilationContext::for_device(prepared.clone(), device, self.config.seed);
+        ctx.faults = self.faults.clone();
+        let fallback_report = pipeline.run(&mut ctx)?;
+        report.absorb_trial(&fallback_report, true);
+        Ok(CompilationResult {
+            initial_map: ctx
+                .initial_layout
+                .expect("the mapping pass sets the initial layout"),
+            routed: ctx
+                .routed
+                .expect("the routing pass sets the routed circuit"),
+            hardware_circuit: ctx.schedule.expect("the scheduling pass sets the schedule"),
+            metrics: ctx.metrics.expect("the decompose pass sets the metrics"),
+            basis: ctx.basis,
+        })
     }
 }
 
@@ -547,6 +666,102 @@ mod tests {
         .compile(&circuit, &device)
         .unwrap();
         assert!(annealed.hardware_compatible(&device));
+    }
+
+    #[test]
+    fn unlimited_budget_reproduces_the_default_compilation_bit_for_bit() {
+        let circuit = trotter_step(&nnn_heisenberg(10, 9), 1.0);
+        let device = Device::montreal();
+        let stock = TwoQanCompiler::default()
+            .compile(&circuit, &device)
+            .unwrap();
+        let budgeted = TwoQanCompiler::new(TwoQanConfig {
+            budget: CompileBudget::unlimited(),
+            ..TwoQanConfig::default()
+        })
+        .compile(&circuit, &device)
+        .unwrap();
+        assert_eq!(stock, budgeted);
+    }
+
+    #[test]
+    fn zero_deadline_compiles_via_the_trivial_fallback() {
+        use std::time::Duration;
+        let circuit = trotter_step(&nnn_heisenberg(10, 9), 1.0);
+        let device = Device::montreal();
+        let (result, report) = TwoQanCompiler::new(TwoQanConfig {
+            budget: CompileBudget::with_deadline(Duration::ZERO),
+            ..TwoQanConfig::default()
+        })
+        .compile_with_report(&circuit, &device)
+        .unwrap();
+        assert_eq!(report.rung, DegradationRung::TrivialFallback);
+        assert_eq!(report.deadline_ms, Some(0.0));
+        assert!(result.hardware_compatible(&device));
+        // The fallback starts from the identity placement.
+        assert_eq!(
+            result.initial_map.assignment(),
+            &(0..10).collect::<Vec<_>>()[..]
+        );
+    }
+
+    #[test]
+    fn cancelled_token_compiles_via_the_trivial_fallback() {
+        use crate::budget::CancelToken;
+        let circuit = trotter_step(&nnn_heisenberg(10, 9), 1.0);
+        let device = Device::montreal();
+        let token = CancelToken::new();
+        token.cancel();
+        let (result, report) = TwoQanCompiler::new(TwoQanConfig {
+            budget: CompileBudget::unlimited().with_cancel_token(token),
+            ..TwoQanConfig::default()
+        })
+        .compile_with_report(&circuit, &device)
+        .unwrap();
+        assert_eq!(report.rung, DegradationRung::TrivialFallback);
+        assert_eq!(report.deadline_ms, None);
+        assert!(result.hardware_compatible(&device));
+    }
+
+    #[test]
+    fn generous_deadline_runs_the_full_portfolio() {
+        use std::time::Duration;
+        let circuit = trotter_step(&nnn_heisenberg(8, 7), 1.0);
+        let device = Device::montreal();
+        let (result, report) = TwoQanCompiler::new(TwoQanConfig {
+            budget: CompileBudget::with_deadline(Duration::from_secs(600)),
+            ..TwoQanConfig::default()
+        })
+        .compile_with_report(&circuit, &device)
+        .unwrap();
+        assert_eq!(report.rung, DegradationRung::Full);
+        assert!(report.budget_consumed_ms > 0.0);
+        assert!(result.hardware_compatible(&device));
+    }
+
+    #[test]
+    fn fault_injected_errors_degrade_instead_of_failing_when_a_run_survives() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let circuit = trotter_step(&nnn_heisenberg(8, 7), 1.0);
+        let device = Device::montreal();
+        // Injected errors with p=0.35 will kill some pipeline runs but (for
+        // this seed) not all planned ones — the compiler must still return
+        // a valid result from the surviving runs, marked degraded.
+        let injector = Arc::new(FaultInjector::new(FaultConfig {
+            seed: 5,
+            error_probability: 0.35,
+            ..FaultConfig::default()
+        }));
+        let (result, report) = TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 4,
+            ..TwoQanConfig::default()
+        })
+        .with_fault_injector(Arc::clone(&injector))
+        .compile_with_report(&circuit, &device)
+        .unwrap();
+        assert!(injector.counts().errors > 0, "no fault ever fired");
+        assert_ne!(report.rung, DegradationRung::Full);
+        assert!(result.hardware_compatible(&device));
     }
 
     #[test]

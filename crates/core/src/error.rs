@@ -45,6 +45,14 @@ pub enum CompileError {
         /// Human-readable failure description.
         reason: String,
     },
+    /// A compiler panicked and the panic was caught at an isolation boundary
+    /// (the batch driver's `catch_unwind`); carries the panic payload so the
+    /// defect stays attributable while the rest of the batch keeps running.
+    Internal {
+        /// The caught panic message (or a placeholder for non-string
+        /// payloads).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -66,6 +74,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::PassFailed { pass, reason } => {
                 write!(f, "pass {pass} failed: {reason}")
+            }
+            CompileError::Internal { detail } => {
+                write!(f, "internal compiler error: {detail}")
             }
         }
     }
@@ -104,6 +115,11 @@ mod tests {
         };
         assert!(e.to_string().contains("qap-mapping"));
         assert!(e.to_string().contains("solver budget exhausted"));
+        let e = CompileError::Internal {
+            detail: "caught panic: index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("internal compiler error"));
+        assert!(e.to_string().contains("index out of bounds"));
     }
 
     #[test]

@@ -56,9 +56,11 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod budget;
 pub mod compiler;
 pub mod decompose;
 pub mod error;
+pub mod fault;
 pub mod mapping;
 pub mod passes;
 pub mod pipeline;
@@ -66,14 +68,16 @@ pub mod routing;
 pub mod scheduling;
 
 pub use batch::{BatchCompiler, BatchJob};
+pub use budget::{CancelToken, CompileBudget, SolverBudget};
 pub use compiler::{CompilationResult, TwoQanCompiler, TwoQanConfig};
 pub use error::CompileError;
+pub use fault::{ChaosCompiler, FaultConfig, FaultCounts, FaultInjector};
 pub use mapping::{CostModel, InitialMappingStrategy, MappingConfig, QubitMap};
 pub use passes::{
     AlapSchedulePass, DecomposePass, PermutationRoutingPass, QapMappingPass, UnifyPass,
 };
 pub use pipeline::{
-    ensure_fits, CompilationContext, CompiledOutput, Compiler, Pass, PassManager, PassRecord,
-    PipelineReport,
+    ensure_fits, CompilationContext, CompiledOutput, Compiler, DegradationRung, Pass, PassManager,
+    PassRecord, PipelineReport,
 };
 pub use routing::{RoutedCircuit, RoutingConfig, RoutingStage, SwapAction};

@@ -13,11 +13,14 @@
 //! its position in the circuit — there is no gate-order dependence eroding
 //! the benefit of a good initial placement.
 
+use crate::budget::SolverBudget;
 use crate::error::CompileError;
 use rand::Rng;
 use twoqan_circuit::Circuit;
 use twoqan_device::Device;
-use twoqan_graphs::{simulated_annealing, tabu_search, AnnealingConfig, QapProblem, TabuConfig};
+use twoqan_graphs::{
+    simulated_annealing_budgeted, tabu_search_budgeted, AnnealingConfig, QapProblem, TabuConfig,
+};
 
 /// The distance cost model the mapping and routing passes optimise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -205,6 +208,27 @@ pub fn initial_mapping_with<R: Rng + ?Sized>(
     config: &MappingConfig,
     rng: &mut R,
 ) -> Result<QubitMap, CompileError> {
+    initial_mapping_budgeted(circuit, device, config, &SolverBudget::unlimited(), rng)
+}
+
+/// Finds an initial qubit placement under a cooperative budget.
+///
+/// Identical to [`initial_mapping_with`] for an unlimited budget.  Under a
+/// limited budget the QAP solvers stop at their next sweep boundary and
+/// return their best-so-far placement — the result is always a valid
+/// placement (anytime semantics), never an expiry error.
+///
+/// # Errors
+///
+/// Returns [`CompileError::TooManyQubits`] if the circuit does not fit on
+/// the device.
+pub fn initial_mapping_budgeted<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    device: &Device,
+    config: &MappingConfig,
+    budget: &SolverBudget,
+    rng: &mut R,
+) -> Result<QubitMap, CompileError> {
     let n = circuit.num_qubits();
     let m = device.num_qubits();
     if n > m {
@@ -229,11 +253,12 @@ pub fn initial_mapping_with<R: Rng + ?Sized>(
     let map = match config.strategy {
         InitialMappingStrategy::Trivial => QubitMap::identity(n, m),
         InitialMappingStrategy::TabuSearch => {
-            let result = tabu_search(&padded_qap(), &config.tabu, rng);
+            let result = tabu_search_budgeted(&padded_qap(), &config.tabu, budget, rng);
             QubitMap::from_assignment(&result.assignment[..n], m)
         }
         InitialMappingStrategy::SimulatedAnnealing => {
-            let result = simulated_annealing(&padded_qap(), &config.annealing, rng);
+            let result =
+                simulated_annealing_budgeted(&padded_qap(), &config.annealing, budget, rng);
             QubitMap::from_assignment(&result.assignment[..n], m)
         }
     };
@@ -466,5 +491,49 @@ mod tests {
     #[should_panic(expected = "assigned twice")]
     fn from_assignment_rejects_collisions() {
         let _ = QubitMap::from_assignment(&[1, 1], 3);
+    }
+
+    #[test]
+    fn expired_budget_still_yields_a_valid_placement() {
+        use std::time::Duration;
+        let circuit = chain_circuit(8);
+        let device = Device::grid(3, 3, TwoQubitBasis::Cnot);
+        let budget = SolverBudget::with_deadline(Duration::ZERO);
+        for strategy in [
+            InitialMappingStrategy::TabuSearch,
+            InitialMappingStrategy::SimulatedAnnealing,
+            InitialMappingStrategy::Trivial,
+        ] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let map = initial_mapping_budgeted(
+                &circuit,
+                &device,
+                &MappingConfig::with_strategy(strategy),
+                &budget,
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(map.num_logical(), 8, "{strategy:?}");
+            assert_eq!(map.num_physical(), 9, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_reproduces_the_unbudgeted_mapping() {
+        let circuit = chain_circuit(6);
+        let device = Device::grid(2, 3, TwoQubitBasis::Cnot);
+        let config = MappingConfig::default();
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let plain = initial_mapping_with(&circuit, &device, &config, &mut rng_a).unwrap();
+        let budgeted = initial_mapping_budgeted(
+            &circuit,
+            &device,
+            &config,
+            &SolverBudget::unlimited(),
+            &mut rng_b,
+        )
+        .unwrap();
+        assert_eq!(plain, budgeted);
     }
 }

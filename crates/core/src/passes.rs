@@ -9,7 +9,7 @@
 
 use crate::decompose::hardware_metrics;
 use crate::error::CompileError;
-use crate::mapping::{initial_mapping_with, MappingConfig};
+use crate::mapping::{initial_mapping_budgeted, MappingConfig};
 use crate::pipeline::{CompilationContext, Pass};
 use crate::routing::{route, RoutingConfig};
 use crate::scheduling::{schedule, SchedulingStrategy};
@@ -52,7 +52,13 @@ impl Pass for QapMappingPass {
 
     fn run(&self, ctx: &mut CompilationContext<'_>) -> Result<(), CompileError> {
         let device = ctx.device_for(self.name())?;
-        let map = initial_mapping_with(&ctx.circuit, device, &self.config, &mut ctx.rng)?;
+        let map = initial_mapping_budgeted(
+            &ctx.circuit,
+            device,
+            &self.config,
+            &ctx.budget,
+            &mut ctx.rng,
+        )?;
         ctx.set_placement(map);
         Ok(())
     }

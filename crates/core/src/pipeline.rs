@@ -16,11 +16,14 @@
 //! per workspace compiler so benchmark and verification code never needs
 //! per-compiler dispatch.
 
+use crate::budget::SolverBudget;
 use crate::error::CompileError;
+use crate::fault::FaultInjector;
 use crate::mapping::QubitMap;
 use crate::routing::RoutedCircuit;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 use twoqan_circuit::{Circuit, Gate, HardwareMetrics, ScheduledCircuit, Timeline};
 use twoqan_device::{Device, TwoQubitBasis};
@@ -61,6 +64,13 @@ pub struct CompilationContext<'a> {
     pub timeline: Option<Timeline>,
     /// Gate counts and depths for [`CompilationContext::basis`].
     pub metrics: Option<HardwareMetrics>,
+    /// The armed wall-clock/cancellation budget anytime passes poll (the
+    /// QAP mapping pass threads it into the Tabu/annealing sweep loops);
+    /// unlimited by default, and free to poll when unlimited.
+    pub budget: SolverBudget,
+    /// The chaos-testing fault injector consulted before every pass, when
+    /// one is attached (`None` — the default — skips the hook entirely).
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl<'a> CompilationContext<'a> {
@@ -79,6 +89,8 @@ impl<'a> CompilationContext<'a> {
             schedule: None,
             timeline: None,
             metrics: None,
+            budget: SolverBudget::unlimited(),
+            faults: None,
         }
     }
 
@@ -97,6 +109,8 @@ impl<'a> CompilationContext<'a> {
             schedule: None,
             timeline: None,
             metrics: None,
+            budget: SolverBudget::unlimited(),
+            faults: None,
         }
     }
 
@@ -220,6 +234,37 @@ pub struct PassRecord {
     pub depth_delta: isize,
 }
 
+/// Which rung of the graceful-degradation ladder produced a compilation.
+///
+/// The portfolio compiler plans calibration-aware portfolio × multi-trial
+/// work, but under a tight [`crate::CompileBudget`] it truncates that plan:
+/// first to whatever pipeline runs completed before the deadline (the first
+/// is always the hop-count pipeline), and — if not even one completed — to
+/// a trivial-placement + routing fallback that always terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationRung {
+    /// The full planned portfolio (all trials × all pipelines) ran.
+    #[default]
+    Full,
+    /// The budget truncated the portfolio; at least one complete pipeline
+    /// run produced the result.
+    SinglePipeline,
+    /// No pipeline run completed within budget; the result came from the
+    /// trivial placement + routing fallback.
+    TrivialFallback,
+}
+
+impl DegradationRung {
+    /// Stable kebab-case name (used in benchmark JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradationRung::Full => "full",
+            DegradationRung::SinglePipeline => "single-pipeline",
+            DegradationRung::TrivialFallback => "trivial-fallback",
+        }
+    }
+}
+
 /// The instrumentation record of one pipeline run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PipelineReport {
@@ -232,6 +277,14 @@ pub struct PipelineReport {
     /// sum wall-clock over trials; gate/depth snapshots come from the
     /// winning trial).
     pub trials: usize,
+    /// Which degradation rung produced the result ([`DegradationRung::Full`]
+    /// unless a budget truncated the portfolio).
+    pub rung: DegradationRung,
+    /// The configured deadline in milliseconds, when one was set.
+    pub deadline_ms: Option<f64>,
+    /// Wall-clock milliseconds consumed from budget arming to the end of
+    /// the compilation (0 for compilers that don't arm a budget).
+    pub budget_consumed_ms: f64,
 }
 
 impl PipelineReport {
@@ -321,8 +374,12 @@ impl PassManager {
             passes: Vec::with_capacity(self.passes.len()),
             total_ms: 0.0,
             trials: 1,
+            ..PipelineReport::default()
         };
         for pass in &self.passes {
+            if let Some(injector) = &ctx.faults {
+                injector.before_stage(pass.name())?;
+            }
             let (gates_before, depth_before) = ctx.progress_snapshot();
             let t0 = Instant::now();
             pass.run(ctx)?;
@@ -514,11 +571,13 @@ mod tests {
             passes: vec![rec(2.0, 10)],
             total_ms: 2.0,
             trials: 1,
+            ..PipelineReport::default()
         };
         let b = PipelineReport {
             passes: vec![rec(3.0, 7)],
             total_ms: 3.0,
             trials: 1,
+            ..PipelineReport::default()
         };
         merged.absorb_trial(&a, true);
         merged.absorb_trial(&b, true);
@@ -532,6 +591,48 @@ mod tests {
         merged_keep.absorb_trial(&b, false);
         assert_eq!(merged_keep.passes[0].two_qubit_gates_after, 10);
         assert_eq!(merged_keep.pass_ms("p"), Some(5.0));
+    }
+
+    #[test]
+    fn degradation_rungs_have_stable_names_and_a_full_default() {
+        assert_eq!(DegradationRung::default(), DegradationRung::Full);
+        assert_eq!(DegradationRung::Full.name(), "full");
+        assert_eq!(DegradationRung::SinglePipeline.name(), "single-pipeline");
+        assert_eq!(DegradationRung::TrivialFallback.name(), "trivial-fallback");
+        let report = PipelineReport::default();
+        assert_eq!(report.rung, DegradationRung::Full);
+        assert_eq!(report.deadline_ms, None);
+        assert_eq!(report.budget_consumed_ms, 0.0);
+    }
+
+    #[test]
+    fn attached_fault_injector_is_consulted_before_every_pass() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut pm = PassManager::new();
+        pm.push(PushGatePass("a"));
+        pm.push(PushGatePass("b"));
+        // An always-erroring injector stops the pipeline before pass "a".
+        let mut ctx = CompilationContext::deviceless(Circuit::new(2), TwoQubitBasis::Cnot);
+        ctx.faults = Some(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 3,
+            error_probability: 1.0,
+            ..FaultConfig::default()
+        })));
+        let err = pm.run(&mut ctx).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::PassFailed {
+                pass: "a",
+                reason: "injected fault".into(),
+            }
+        );
+        assert_eq!(ctx.circuit.two_qubit_gate_count(), 0);
+        // A disarmed injector is consulted once per pass and never fires.
+        let injector = Arc::new(FaultInjector::disarmed());
+        let mut ctx = CompilationContext::deviceless(Circuit::new(2), TwoQubitBasis::Cnot);
+        ctx.faults = Some(Arc::clone(&injector));
+        pm.run(&mut ctx).unwrap();
+        assert_eq!(injector.counts().checks, 2);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! error 1.832 %, average T1 = 87.75 µs and T2 = 72.65 µs.  Those numbers
 //! drive the noise model used to reproduce Fig. 10 in `twoqan-sim`.
 
+use crate::error::{check_coherence, check_duration, check_error_rate, DeviceError};
+
 /// Average calibration figures of a device.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
@@ -79,6 +81,32 @@ impl Calibration {
         }
     }
 
+    /// Checks every figure against its physical range: error rates must be
+    /// finite probabilities in `[0, 1]`, gate durations finite and
+    /// non-negative (zero only for a noiseless gate), and T1/T2 positive
+    /// (`+inf` encodes "no decoherence", as in [`Calibration::noiseless`]).
+    /// [`Device`](crate::Device) construction validates through this, so a
+    /// NaN or negative figure is rejected with a typed [`DeviceError`]
+    /// before it can silently poison ESP estimates downstream.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        check_error_rate("two_qubit_error", self.two_qubit_error)?;
+        check_error_rate("single_qubit_error", self.single_qubit_error)?;
+        check_error_rate("readout_error", self.readout_error)?;
+        check_duration(
+            "two_qubit_gate_ns",
+            self.two_qubit_gate_ns,
+            self.two_qubit_error,
+        )?;
+        check_duration(
+            "single_qubit_gate_ns",
+            self.single_qubit_gate_ns,
+            self.single_qubit_error,
+        )?;
+        check_coherence("t1_us", self.t1_us)?;
+        check_coherence("t2_us", self.t2_us)?;
+        Ok(())
+    }
+
     /// Average fidelity of a single native two-qubit gate.
     pub fn two_qubit_fidelity(&self) -> f64 {
         1.0 - self.two_qubit_error
@@ -131,6 +159,76 @@ mod tests {
         let c = Calibration::noiseless();
         assert_eq!(c.two_qubit_fidelity(), 1.0);
         assert_eq!(c.idle_survival(1e9), 1.0);
+    }
+
+    #[test]
+    fn stock_calibrations_validate() {
+        for cal in [
+            Calibration::montreal_october_2021(),
+            Calibration::sycamore_typical(),
+            Calibration::aspen_typical(),
+            Calibration::noiseless(),
+        ] {
+            assert_eq!(cal.validate(), Ok(()), "{cal:?}");
+        }
+    }
+
+    #[test]
+    fn corrupted_figures_are_rejected_with_the_offending_field() {
+        let base = Calibration::montreal_october_2021();
+        let cases = [
+            (
+                Calibration {
+                    two_qubit_error: f64::NAN,
+                    ..base
+                },
+                "two_qubit_error",
+            ),
+            (
+                Calibration {
+                    readout_error: -0.01,
+                    ..base
+                },
+                "readout_error",
+            ),
+            (
+                Calibration {
+                    single_qubit_error: 1.5,
+                    ..base
+                },
+                "single_qubit_error",
+            ),
+            (
+                Calibration {
+                    two_qubit_gate_ns: 0.0,
+                    ..base
+                },
+                "two_qubit_gate_ns",
+            ),
+            (
+                Calibration {
+                    single_qubit_gate_ns: -35.0,
+                    ..base
+                },
+                "single_qubit_gate_ns",
+            ),
+            (Calibration { t1_us: 0.0, ..base }, "t1_us"),
+            (
+                Calibration {
+                    t2_us: f64::NAN,
+                    ..base
+                },
+                "t2_us",
+            ),
+        ];
+        for (cal, expected_field) in cases {
+            match cal.validate() {
+                Err(DeviceError::InvalidCalibration { field, .. }) => {
+                    assert_eq!(field, expected_field)
+                }
+                other => panic!("expected InvalidCalibration for {expected_field}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

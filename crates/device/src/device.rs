@@ -2,6 +2,7 @@
 //! calibration data.
 
 use crate::calibration::Calibration;
+use crate::error::DeviceError;
 use crate::gateset::{GateSet, TwoQubitBasis};
 use crate::target::Target;
 use crate::topologies;
@@ -72,28 +73,47 @@ pub struct Device {
 }
 
 impl Device {
+    /// Builds a device from an arbitrary topology, validating the inputs:
+    /// the topology must be connected (routing requires a path between
+    /// every qubit pair) and every calibration figure must be in its
+    /// physical range (see [`Calibration::validate`]).
+    pub fn try_from_topology(
+        name: impl Into<String>,
+        topology: Graph,
+        gate_set: GateSet,
+        calibration: Calibration,
+    ) -> Result<Self, DeviceError> {
+        let name = name.into();
+        if !topology.is_connected() {
+            return Err(DeviceError::DisconnectedTopology { name });
+        }
+        calibration.validate()?;
+        let target = Target::uniform(&topology, &calibration);
+        Ok(Self {
+            name,
+            topology,
+            distances: DistanceCaches::default(),
+            gate_set,
+            calibration,
+            target,
+        })
+    }
+
     /// Builds a device from an arbitrary topology.
     ///
     /// # Panics
     ///
-    /// Panics if the topology is not connected (routing requires a connected
-    /// coupling graph).
+    /// Panics if the topology is not connected or the calibration is out of
+    /// range (see [`Device::try_from_topology`] for the non-panicking
+    /// variant).
     pub fn from_topology(
         name: impl Into<String>,
         topology: Graph,
         gate_set: GateSet,
         calibration: Calibration,
     ) -> Self {
-        assert!(topology.is_connected(), "device topology must be connected");
-        let target = Target::uniform(&topology, &calibration);
-        Self {
-            name: name.into(),
-            topology,
-            distances: DistanceCaches::default(),
-            gate_set,
-            calibration,
-            target,
-        }
+        Self::try_from_topology(name, topology, gate_set, calibration)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The Google Sycamore device (54 qubits, SYC native gate, CZ also
@@ -188,30 +208,55 @@ impl Device {
     }
 
     /// Returns a copy with different calibration data (the target is reset
-    /// to the uniform replication of the new averages).
-    pub fn with_calibration(&self, calibration: Calibration) -> Self {
+    /// to the uniform replication of the new averages), validating the new
+    /// figures.
+    pub fn try_with_calibration(&self, calibration: Calibration) -> Result<Self, DeviceError> {
+        calibration.validate()?;
         let mut d = self.clone();
         d.calibration = calibration;
         d.target = Target::uniform(&d.topology, &calibration);
         d.distances.invalidate_weighted();
-        d
+        Ok(d)
+    }
+
+    /// Returns a copy with different calibration data (the target is reset
+    /// to the uniform replication of the new averages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration is out of range (see
+    /// [`Device::try_with_calibration`]).
+    pub fn with_calibration(&self, calibration: Calibration) -> Self {
+        self.try_with_calibration(calibration)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Returns a copy with an explicit per-qubit/per-edge [`Target`],
+    /// validating that its size matches the topology and that every figure
+    /// is in its physical range (see [`Target::validate`]).
+    pub fn try_with_target(&self, target: Target) -> Result<Self, DeviceError> {
+        if target.num_qubits() != self.num_qubits() {
+            return Err(DeviceError::TargetSizeMismatch {
+                target: target.num_qubits(),
+                device: self.num_qubits(),
+            });
+        }
+        target.validate()?;
+        let mut d = self.clone();
+        d.target = target;
+        d.distances.invalidate_weighted();
+        Ok(d)
     }
 
     /// Returns a copy with an explicit per-qubit/per-edge [`Target`].
     ///
     /// # Panics
     ///
-    /// Panics if the target's qubit count does not match the topology.
+    /// Panics if the target's qubit count does not match the topology or a
+    /// figure is out of range (see [`Device::try_with_target`]).
     pub fn with_target(&self, target: Target) -> Self {
-        assert_eq!(
-            target.num_qubits(),
-            self.num_qubits(),
-            "target qubit count must match the device topology"
-        );
-        let mut d = self.clone();
-        d.target = target;
-        d.distances.invalidate_weighted();
-        d
+        self.try_with_target(target)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Returns a copy with a deterministic seeded heterogeneous calibration
@@ -419,6 +464,64 @@ mod tests {
         );
         let result = std::panic::catch_unwind(|| device.with_target(wrong));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        // Disconnected topology.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let err = Device::try_from_topology(
+            "broken",
+            g,
+            GateSet::single(TwoQubitBasis::Cnot),
+            Calibration::noiseless(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::DisconnectedTopology {
+                name: "broken".into()
+            }
+        );
+        // NaN calibration figure.
+        let bad = Calibration {
+            two_qubit_error: f64::NAN,
+            ..Calibration::montreal_october_2021()
+        };
+        let err = Device::try_from_topology(
+            "nan",
+            Graph::path(3),
+            GateSet::single(TwoQubitBasis::Cnot),
+            bad,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, DeviceError::InvalidCalibration { ref field, .. }
+            if field == "two_qubit_error")
+        );
+        assert!(Device::montreal().try_with_calibration(bad).is_err());
+        // Target size mismatch.
+        let device = Device::aspen();
+        let wrong = crate::target::Target::uniform(
+            &Graph::grid(2, 3),
+            &Calibration::montreal_october_2021(),
+        );
+        let err = device.try_with_target(wrong).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::TargetSizeMismatch {
+                target: 6,
+                device: 16
+            }
+        );
+        // The happy paths still work through the try variants.
+        let het = crate::target::Target::heterogeneous(device.topology(), device.calibration(), 7);
+        assert!(device.try_with_target(het).is_ok());
+        assert!(device
+            .try_with_calibration(Calibration::noiseless())
+            .is_ok());
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Typed construction errors of the device model.
+//!
+//! Device and target construction used to `assert!` its invariants; the
+//! robustness layer exposes them as a typed [`DeviceError`] instead, so
+//! callers that build devices from untrusted inputs (benchmark harnesses,
+//! fuzzers, calibration snapshots read from disk) can handle a bad input as
+//! a value rather than a panic.  The panicking constructors remain and
+//! simply `panic!` with the [`Display`](std::fmt::Display) rendering of the
+//! typed error, so their messages are unchanged.
+
+use std::fmt;
+
+/// Why a [`Device`](crate::Device) or [`Target`](crate::Target) could not
+/// be built from the given inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The coupling graph is not connected; routing requires a path between
+    /// every pair of hardware qubits.
+    DisconnectedTopology {
+        /// Name of the rejected device.
+        name: String,
+    },
+    /// A per-qubit/per-edge target was attached to a device of a different
+    /// size.
+    TargetSizeMismatch {
+        /// Qubit count the target calibrates.
+        target: usize,
+        /// Qubit count of the device topology.
+        device: usize,
+    },
+    /// A calibration figure is outside its physically sensible range
+    /// (NaN/negative error rates, error rates above 1, negative or
+    /// non-finite gate durations, non-positive coherence times, …).
+    InvalidCalibration {
+        /// Which figure was rejected (e.g. `two_qubit_error` for a
+        /// device-wide average, or `t1_us[3]` for qubit 3 of a target).
+        field: String,
+        /// The offending value.
+        value: f64,
+        /// Why the value is invalid.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DisconnectedTopology { name } => write!(
+                f,
+                "device topology must be connected ('{name}' has a disconnected coupling graph)"
+            ),
+            Self::TargetSizeMismatch { target, device } => write!(
+                f,
+                "target qubit count must match the device topology \
+                 (target calibrates {target} qubits, topology has {device})"
+            ),
+            Self::InvalidCalibration {
+                field,
+                value,
+                reason,
+            } => write!(
+                f,
+                "invalid calibration figure: {field} = {value} ({reason})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Checks that an error probability is finite and inside `[0, 1]`.
+pub(crate) fn check_error_rate(field: &str, value: f64) -> Result<(), DeviceError> {
+    if !value.is_finite() {
+        return Err(DeviceError::InvalidCalibration {
+            field: field.to_string(),
+            value,
+            reason: "error rates must be finite",
+        });
+    }
+    if !(0.0..=1.0).contains(&value) {
+        return Err(DeviceError::InvalidCalibration {
+            field: field.to_string(),
+            value,
+            reason: "error rates must lie in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
+/// Checks that a gate duration is finite and non-negative.  A zero duration
+/// is only accepted for a noiseless gate (`paired_error == 0`, as in
+/// [`Calibration::noiseless`](crate::Calibration::noiseless)): a gate that
+/// accumulates error in zero time is unphysical and would break the
+/// duration-weighted ESP accounting.
+pub(crate) fn check_duration(
+    field: &str,
+    value: f64,
+    paired_error: f64,
+) -> Result<(), DeviceError> {
+    if !value.is_finite() {
+        return Err(DeviceError::InvalidCalibration {
+            field: field.to_string(),
+            value,
+            reason: "gate durations must be finite",
+        });
+    }
+    if value < 0.0 {
+        return Err(DeviceError::InvalidCalibration {
+            field: field.to_string(),
+            value,
+            reason: "gate durations must be non-negative",
+        });
+    }
+    if value == 0.0 && paired_error > 0.0 {
+        return Err(DeviceError::InvalidCalibration {
+            field: field.to_string(),
+            value,
+            reason: "a gate with a non-zero error rate cannot take zero time",
+        });
+    }
+    Ok(())
+}
+
+/// Checks that a T1/T2 coherence time is positive and not NaN.  `+inf` is
+/// valid — it is how [`Calibration::noiseless`](crate::Calibration::noiseless)
+/// encodes "no decoherence".
+pub(crate) fn check_coherence(field: &str, value: f64) -> Result<(), DeviceError> {
+    if value.is_nan() {
+        return Err(DeviceError::InvalidCalibration {
+            field: field.to_string(),
+            value,
+            reason: "coherence times must be a number",
+        });
+    }
+    if value <= 0.0 {
+        return Err(DeviceError::InvalidCalibration {
+            field: field.to_string(),
+            value,
+            reason: "coherence times must be positive",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_keep_the_historic_assertion_substrings() {
+        let e = DeviceError::DisconnectedTopology {
+            name: "broken".into(),
+        };
+        assert!(e.to_string().contains("must be connected"), "{e}");
+        let e = DeviceError::TargetSizeMismatch {
+            target: 6,
+            device: 16,
+        };
+        assert!(
+            e.to_string()
+                .contains("target qubit count must match the device topology"),
+            "{e}"
+        );
+        let e = DeviceError::InvalidCalibration {
+            field: "t1_us[3]".into(),
+            value: -1.0,
+            reason: "coherence times must be positive",
+        };
+        let rendered = e.to_string();
+        assert!(
+            rendered.contains("t1_us[3]") && rendered.contains("positive"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn range_checks_reject_nan_and_out_of_range_values() {
+        assert!(check_error_rate("e", 0.0).is_ok());
+        assert!(check_error_rate("e", 1.0).is_ok());
+        assert!(check_error_rate("e", f64::NAN).is_err());
+        assert!(check_error_rate("e", -0.1).is_err());
+        assert!(check_error_rate("e", 1.1).is_err());
+        assert!(check_error_rate("e", f64::INFINITY).is_err());
+
+        assert!(check_duration("d", 420.0, 0.01).is_ok());
+        assert!(
+            check_duration("d", 0.0, 0.0).is_ok(),
+            "noiseless zero-time gates are valid"
+        );
+        assert!(
+            check_duration("d", 0.0, 0.01).is_err(),
+            "noisy zero-time gates are not"
+        );
+        assert!(check_duration("d", -1.0, 0.0).is_err());
+        assert!(check_duration("d", f64::NAN, 0.0).is_err());
+
+        assert!(check_coherence("t", 87.75).is_ok());
+        assert!(
+            check_coherence("t", f64::INFINITY).is_ok(),
+            "noiseless coherence is valid"
+        );
+        assert!(check_coherence("t", 0.0).is_err());
+        assert!(check_coherence("t", -5.0).is_err());
+        assert!(check_coherence("t", f64::NAN).is_err());
+    }
+}

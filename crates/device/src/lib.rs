@@ -15,17 +15,23 @@
 //! * [`Target`] — the per-qubit / per-edge refinement of the averages the
 //!   calibration-aware compiler passes and the per-channel noise model in
 //!   `twoqan-sim` consume, with deterministic seeded heterogeneous
-//!   generators ([`Target::heterogeneous`]).
+//!   generators ([`Target::heterogeneous`]),
+//! * [`DeviceError`] — typed construction errors: device and target
+//!   construction validates its inputs (connected topology, error rates in
+//!   `[0, 1]`, positive coherence times, …) and the `try_*` constructors
+//!   return these instead of panicking.
 
 #![deny(missing_docs)]
 
 pub mod calibration;
 pub mod device;
+pub mod error;
 pub mod gateset;
 pub mod target;
 pub mod topologies;
 
 pub use calibration::Calibration;
 pub use device::Device;
+pub use error::DeviceError;
 pub use gateset::{GateSet, TwoQubitBasis};
 pub use target::{HeterogeneitySpread, Target};

@@ -18,6 +18,7 @@
 //! snapshot.
 
 use crate::calibration::Calibration;
+use crate::error::{check_coherence, check_duration, check_error_rate, DeviceError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -228,6 +229,41 @@ impl Target {
             average: *calibration,
             uniform: false,
         }
+    }
+
+    /// Checks every per-edge / per-qubit figure against its physical range
+    /// (the same rules as [`Calibration::validate`], field names carrying
+    /// the offending edge or qubit).  [`Device::try_with_target`]
+    /// (crate::Device::try_with_target) validates through this, so a
+    /// hand-built calibration snapshot with a NaN error rate or a negative
+    /// coherence time is rejected with a typed error at attach time.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        for (i, &(a, b)) in self.edges.iter().enumerate() {
+            check_error_rate(
+                &format!("two_qubit_error[{a}-{b}]"),
+                self.two_qubit_error[i],
+            )?;
+            check_duration(
+                &format!("two_qubit_duration_ns[{a}-{b}]"),
+                self.two_qubit_duration_ns[i],
+                self.two_qubit_error[i],
+            )?;
+        }
+        for q in 0..self.num_qubits {
+            check_error_rate(
+                &format!("single_qubit_error[{q}]"),
+                self.single_qubit_error[q],
+            )?;
+            check_duration(
+                &format!("single_qubit_duration_ns[{q}]"),
+                self.single_qubit_duration_ns[q],
+                self.single_qubit_error[q],
+            )?;
+            check_error_rate(&format!("readout_error[{q}]"), self.readout_error[q])?;
+            check_coherence(&format!("t1_us[{q}]"), self.t1_us[q])?;
+            check_coherence(&format!("t2_us[{q}]"), self.t2_us[q])?;
+        }
+        self.average.validate()
     }
 
     /// Number of hardware qubits.
@@ -485,6 +521,37 @@ mod tests {
             t.gate_duration_ns(&rx, TwoQubitBasisCost::Cnot),
             cal.single_qubit_gate_ns
         );
+    }
+
+    #[test]
+    fn generated_targets_validate_and_corrupted_entries_are_named() {
+        let cal = Calibration::montreal_october_2021();
+        assert_eq!(Target::uniform(&grid(), &cal).validate(), Ok(()));
+        assert_eq!(
+            Target::uniform(&grid(), &Calibration::noiseless()).validate(),
+            Ok(())
+        );
+        for seed in 0..8 {
+            let t = Target::heterogeneous(&grid(), &cal, seed);
+            assert_eq!(t.validate(), Ok(()), "seed {seed}");
+        }
+        let mut t = Target::heterogeneous(&grid(), &cal, 3);
+        t.two_qubit_error[2] = f64::NAN;
+        match t.validate() {
+            Err(crate::error::DeviceError::InvalidCalibration { field, .. }) => {
+                let (a, b) = t.edges[2];
+                assert_eq!(field, format!("two_qubit_error[{a}-{b}]"));
+            }
+            other => panic!("expected InvalidCalibration, got {other:?}"),
+        }
+        let mut t = Target::heterogeneous(&grid(), &cal, 3);
+        t.t2_us[4] = -1.0;
+        match t.validate() {
+            Err(crate::error::DeviceError::InvalidCalibration { field, .. }) => {
+                assert_eq!(field, "t2_us[4]");
+            }
+            other => panic!("expected InvalidCalibration, got {other:?}"),
+        }
     }
 
     #[test]

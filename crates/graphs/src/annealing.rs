@@ -13,6 +13,7 @@
 //! [`DeltaTable`], so a proposal costs O(1) instead of the O(n) of
 //! recomputing `swap_delta` from scratch.
 
+use crate::budget::SolverBudget;
 use crate::parallel::run_indexed;
 use crate::qap::QapProblem;
 use crate::tabu::DeltaTable;
@@ -70,11 +71,26 @@ pub fn simulated_annealing<R: Rng + ?Sized>(
     config: &AnnealingConfig,
     rng: &mut R,
 ) -> AnnealingResult {
+    simulated_annealing_budgeted(problem, config, &SolverBudget::unlimited(), rng)
+}
+
+/// Runs simulated annealing under a cooperative budget.
+///
+/// Identical to [`simulated_annealing`] for an unlimited budget.  On expiry
+/// each restart schedule stops at its next temperature-sweep boundary and
+/// returns its best-so-far assignment, which is valid from the very first
+/// random start.
+pub fn simulated_annealing_budgeted<R: Rng + ?Sized>(
+    problem: &QapProblem,
+    config: &AnnealingConfig,
+    budget: &SolverBudget,
+    rng: &mut R,
+) -> AnnealingResult {
     let restarts = config.restarts.max(1);
     let seeds: Vec<u64> = (0..restarts).map(|_| rng.gen::<u64>()).collect();
     let results = run_indexed(restarts, config.parallel, |k| {
         let mut restart_rng = StdRng::seed_from_u64(seeds[k]);
-        annealing_schedule(problem, config, &mut restart_rng)
+        annealing_schedule_budgeted(problem, config, budget, &mut restart_rng)
     });
     results
         .into_iter()
@@ -86,6 +102,17 @@ pub fn simulated_annealing<R: Rng + ?Sized>(
 pub fn annealing_schedule<R: Rng + ?Sized>(
     problem: &QapProblem,
     config: &AnnealingConfig,
+    rng: &mut R,
+) -> AnnealingResult {
+    annealing_schedule_budgeted(problem, config, &SolverBudget::unlimited(), rng)
+}
+
+/// Runs one annealing schedule under a cooperative budget, checked once per
+/// temperature sweep.
+pub fn annealing_schedule_budgeted<R: Rng + ?Sized>(
+    problem: &QapProblem,
+    config: &AnnealingConfig,
+    budget: &SolverBudget,
     rng: &mut R,
 ) -> AnnealingResult {
     let n = problem.num_facilities();
@@ -116,6 +143,9 @@ pub fn annealing_schedule<R: Rng + ?Sized>(
 
     let mut temperature = config.initial_temperature.max(config.final_temperature);
     while temperature > config.final_temperature {
+        if budget.expired() {
+            break;
+        }
         let mut accepted_this_sweep = 0usize;
         let mut evaluated_this_sweep = 0usize;
         for _ in 0..config.moves_per_temperature {
@@ -248,6 +278,36 @@ mod tests {
             );
             assert_eq!(serial, parallel, "seed {seed} diverged across thread modes");
         }
+    }
+
+    #[test]
+    fn expired_budget_returns_a_valid_assignment_immediately() {
+        use crate::budget::SolverBudget;
+        use std::time::Duration;
+        let p = line_on_grid(9, 3, 3);
+        let budget = SolverBudget::with_deadline(Duration::ZERO);
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = simulated_annealing_budgeted(&p, &AnnealingConfig::default(), &budget, &mut rng);
+        assert_eq!(r.accepted_moves, 0);
+        assert!(p.is_valid_assignment(&r.assignment));
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_unbudgeted_search() {
+        use crate::budget::SolverBudget;
+        let p = line_on_grid(8, 3, 3);
+        let plain = simulated_annealing(
+            &p,
+            &AnnealingConfig::default(),
+            &mut StdRng::seed_from_u64(13),
+        );
+        let budgeted = simulated_annealing_budgeted(
+            &p,
+            &AnnealingConfig::default(),
+            &SolverBudget::unlimited(),
+            &mut StdRng::seed_from_u64(13),
+        );
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Cooperative wall-clock budgets for the anytime QAP solvers.
+//!
+//! The Tabu and annealing solvers are the only super-millisecond stages of
+//! the compilation pipeline (24.6 of 25.9 ms at n = 80), so they are the
+//! stages a latency-bounded caller needs to interrupt.  Both searches
+//! maintain a best-so-far assignment that is valid from the very first
+//! iteration, which makes **anytime semantics** natural: on budget expiry
+//! they stop sweeping and return the best assignment found so far instead
+//! of erroring.
+//!
+//! A [`SolverBudget`] is an *armed* budget — its wall clock started when it
+//! was created — combining an optional deadline with an optional shared
+//! [`CancelToken`].  An unlimited budget is free to poll: [`SolverBudget::
+//! expired`] returns `false` without reading the clock, so budget-aware
+//! solver loops are bit-identical (and indistinguishable in cost) to the
+//! pre-budget code when no limit is set.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cooperative cancellation flag.
+///
+/// Clones share the flag: any holder may [`CancelToken::cancel`] and every
+/// solver polling a budget armed with a clone observes the cancellation at
+/// its next sweep boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; all clones observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Whether two tokens share the same underlying flag (clones do).
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+/// An armed wall-clock / cancellation budget polled by the anytime solvers.
+///
+/// The clock starts at construction; solvers check [`SolverBudget::expired`]
+/// once per sweep (Tabu iteration / annealing temperature level) and return
+/// their best-so-far result when it reports `true`.
+#[derive(Debug, Clone)]
+pub struct SolverBudget {
+    started: Instant,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl SolverBudget {
+    /// A budget with no deadline and no cancellation token; polling it is
+    /// free (no clock read) and it never expires.
+    pub fn unlimited() -> Self {
+        Self::armed(None, None)
+    }
+
+    /// A budget expiring `deadline` from now.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self::armed(Some(deadline), None)
+    }
+
+    /// Arms a budget from its specification parts, starting the clock now.
+    /// A deadline too far in the future to represent is treated as
+    /// unlimited.
+    pub fn armed(deadline: Option<Duration>, cancel: Option<CancelToken>) -> Self {
+        let started = Instant::now();
+        Self {
+            started,
+            deadline: deadline.and_then(|d| started.checked_add(d)),
+            cancel,
+        }
+    }
+
+    /// Whether this budget can ever expire (a deadline or a token is set).
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    /// Whether the budget has run out (deadline passed or cancellation
+    /// requested).  Unlimited budgets answer without reading the clock, so
+    /// per-sweep polling costs nothing on the default configuration.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// Wall-clock time elapsed since the budget was armed.
+    pub fn consumed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Default for SolverBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budgets_never_expire() {
+        let b = SolverBudget::unlimited();
+        assert!(!b.is_limited());
+        assert!(!b.expired());
+        assert!(!SolverBudget::default().expired());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let b = SolverBudget::with_deadline(Duration::ZERO);
+        assert!(b.is_limited());
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_expire_immediately() {
+        let b = SolverBudget::with_deadline(Duration::from_secs(3600));
+        assert!(b.is_limited());
+        assert!(!b.expired());
+        assert!(b.consumed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let b = SolverBudget::armed(None, Some(token.clone()));
+        assert!(b.is_limited());
+        assert!(!b.expired());
+        token.cancel();
+        assert!(b.expired());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn token_identity_tracks_the_shared_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        let c = CancelToken::new();
+        assert!(a.same_token(&b));
+        assert!(!a.same_token(&c));
+    }
+
+    #[test]
+    fn absurd_deadlines_are_treated_as_unlimited() {
+        let b = SolverBudget::with_deadline(Duration::from_secs(u64::MAX));
+        assert!(!b.expired());
+    }
+}

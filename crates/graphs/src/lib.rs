@@ -19,6 +19,7 @@
 #![deny(missing_docs)]
 
 pub mod annealing;
+pub mod budget;
 pub mod coloring;
 pub mod distance;
 pub mod graph;
@@ -28,11 +29,18 @@ pub mod random_regular;
 pub mod tabu;
 pub mod weighted;
 
-pub use annealing::{annealing_schedule, simulated_annealing, AnnealingConfig, AnnealingResult};
+pub use annealing::{
+    annealing_schedule, annealing_schedule_budgeted, simulated_annealing,
+    simulated_annealing_budgeted, AnnealingConfig, AnnealingResult,
+};
+pub use budget::{CancelToken, SolverBudget};
 pub use coloring::{greedy_coloring, ColoringResult};
 pub use distance::DistanceMatrix;
 pub use graph::Graph;
 pub use qap::QapProblem;
-pub use random_regular::random_regular_graph;
-pub use tabu::{tabu_search, tabu_search_from, DeltaTable, TabuConfig, TabuResult};
+pub use random_regular::{random_regular_graph, try_random_regular_graph, RandomRegularError};
+pub use tabu::{
+    tabu_search, tabu_search_budgeted, tabu_search_from, tabu_search_from_budgeted, DeltaTable,
+    TabuConfig, TabuResult,
+};
 pub use weighted::WeightedDistanceMatrix;

@@ -8,6 +8,94 @@
 use crate::graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::fmt;
+
+/// The bounded-retry cap of [`try_random_regular_graph`]: how many stub
+/// pairings are attempted before giving up with
+/// [`RandomRegularError::AttemptsExhausted`].  The Steger–Wormald-style
+/// matching almost never needs a restart at benchmark sizes, so this cap is
+/// effectively unreachable for valid `(n, d)`.
+pub const MAX_ATTEMPTS: usize = 10_000;
+
+/// Why random d-regular graph generation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandomRegularError {
+    /// `n·d` is odd, so no d-regular graph on n vertices exists.
+    OddDegreeSum {
+        /// Requested vertex count.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+    },
+    /// `d ≥ n`, so no *simple* d-regular graph on n vertices exists.
+    DegreeTooLarge {
+        /// Requested vertex count.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+    },
+    /// No valid pairing was found within [`MAX_ATTEMPTS`] restarts.
+    AttemptsExhausted {
+        /// Requested vertex count.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+        /// The attempt cap that was exhausted.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for RandomRegularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RandomRegularError::OddDegreeSum { n, d } => write!(
+                f,
+                "n*d must be even for a d-regular graph to exist (n = {n}, d = {d})"
+            ),
+            RandomRegularError::DegreeTooLarge { n, d } => write!(
+                f,
+                "degree must be smaller than the number of vertices (n = {n}, d = {d})"
+            ),
+            RandomRegularError::AttemptsExhausted { n, d, attempts } => write!(
+                f,
+                "failed to generate a simple {d}-regular graph on {n} vertices \
+                 after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RandomRegularError {}
+
+/// Generates a random simple `d`-regular graph on `n` vertices using the
+/// configuration (pairing) model with rejection of self-loops and parallel
+/// edges, returning a typed error instead of panicking so a fuzzing run
+/// cannot be aborted by an unlucky or invalid draw.
+pub fn try_random_regular_graph<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<Graph, RandomRegularError> {
+    if !(n * d).is_multiple_of(2) {
+        return Err(RandomRegularError::OddDegreeSum { n, d });
+    }
+    if d >= n {
+        return Err(RandomRegularError::DegreeTooLarge { n, d });
+    }
+    if d == 0 {
+        return Ok(Graph::new(n));
+    }
+    for _ in 0..MAX_ATTEMPTS {
+        if let Some(g) = try_pairing(n, d, rng) {
+            return Ok(g);
+        }
+    }
+    Err(RandomRegularError::AttemptsExhausted {
+        n,
+        d,
+        attempts: MAX_ATTEMPTS,
+    })
+}
 
 /// Generates a random simple `d`-regular graph on `n` vertices using the
 /// configuration (pairing) model with rejection of self-loops and parallel
@@ -16,24 +104,11 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if `n·d` is odd or `d ≥ n` (no simple d-regular graph exists), or
-/// if a valid pairing cannot be found after a large number of attempts
+/// if a valid pairing cannot be found after [`MAX_ATTEMPTS`] attempts
 /// (which for the modest sizes used in the benchmarks does not happen).
+/// Use [`try_random_regular_graph`] to receive a typed error instead.
 pub fn random_regular_graph<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(
-        (n * d).is_multiple_of(2),
-        "n*d must be even for a d-regular graph to exist"
-    );
-    assert!(d < n, "degree must be smaller than the number of vertices");
-    if d == 0 {
-        return Graph::new(n);
-    }
-    const MAX_ATTEMPTS: usize = 10_000;
-    for _ in 0..MAX_ATTEMPTS {
-        if let Some(g) = try_pairing(n, d, rng) {
-            return g;
-        }
-    }
-    panic!("failed to generate a simple {d}-regular graph on {n} vertices");
+    try_random_regular_graph(n, d, rng).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// One attempt of stub matching in the style of Steger–Wormald: repeatedly
@@ -128,6 +203,33 @@ mod tests {
         let g1 = random_regular_graph(12, 3, &mut StdRng::seed_from_u64(5));
         let g2 = random_regular_graph(12, 3, &mut StdRng::seed_from_u64(5));
         assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn try_variant_returns_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            try_random_regular_graph(5, 3, &mut rng),
+            Err(RandomRegularError::OddDegreeSum { n: 5, d: 3 })
+        );
+        assert_eq!(
+            try_random_regular_graph(4, 4, &mut rng),
+            Err(RandomRegularError::DegreeTooLarge { n: 4, d: 4 })
+        );
+        let g = try_random_regular_graph(10, 3, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = RandomRegularError::AttemptsExhausted {
+            n: 6,
+            d: 3,
+            attempts: MAX_ATTEMPTS,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("6 vertices"));
+        assert!(msg.contains("10000 attempts"));
     }
 
     #[test]

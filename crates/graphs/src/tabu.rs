@@ -17,6 +17,7 @@
 //!   pool with per-restart seeds pre-drawn from the caller's RNG, so results
 //!   are bit-identical for a fixed seed regardless of thread count.
 
+use crate::budget::SolverBudget;
 use crate::parallel::run_indexed;
 use crate::qap::QapProblem;
 use rand::rngs::StdRng;
@@ -73,6 +74,22 @@ pub fn tabu_search<R: Rng + ?Sized>(
     config: &TabuConfig,
     rng: &mut R,
 ) -> TabuResult {
+    tabu_search_budgeted(problem, config, &SolverBudget::unlimited(), rng)
+}
+
+/// Runs Tabu search under a cooperative budget.
+///
+/// Identical to [`tabu_search`] for an unlimited budget (the expiry check on
+/// an unlimited budget never reads the clock).  On expiry each restart stops
+/// at its next iteration boundary and returns its best-so-far assignment —
+/// the starting assignment is always valid, so the result is valid no matter
+/// how early the budget runs out.
+pub fn tabu_search_budgeted<R: Rng + ?Sized>(
+    problem: &QapProblem,
+    config: &TabuConfig,
+    budget: &SolverBudget,
+    rng: &mut R,
+) -> TabuResult {
     let restarts = config.restarts.max(1);
     // Pre-draw one seed per restart so the restart outcomes are independent
     // of execution order and thread count.
@@ -80,7 +97,7 @@ pub fn tabu_search<R: Rng + ?Sized>(
     let results = run_indexed(restarts, config.parallel, |k| {
         let mut restart_rng = StdRng::seed_from_u64(seeds[k]);
         let start = problem.random_assignment(&mut restart_rng);
-        tabu_search_from(problem, start, config)
+        tabu_search_from_budgeted(problem, start, config, budget)
     });
     results
         .into_iter()
@@ -155,6 +172,18 @@ pub fn tabu_search_from(
     start: Vec<usize>,
     config: &TabuConfig,
 ) -> TabuResult {
+    tabu_search_from_budgeted(problem, start, config, &SolverBudget::unlimited())
+}
+
+/// Runs Tabu search from an explicit starting assignment under a cooperative
+/// budget, checked once per neighbourhood iteration.  On expiry the
+/// best-so-far assignment (at worst, `start` itself) is returned.
+pub fn tabu_search_from_budgeted(
+    problem: &QapProblem,
+    start: Vec<usize>,
+    config: &TabuConfig,
+    budget: &SolverBudget,
+) -> TabuResult {
     assert!(
         problem.is_valid_assignment(&start),
         "tabu search requires a valid starting assignment"
@@ -168,13 +197,18 @@ pub fn tabu_search_from(
     let mut tabu_until = vec![0usize; n * n];
     let mut stall = 0usize;
     let mut iterations = 0usize;
-    let mut deltas = if n >= 2 {
+    // The delta table costs O(n³) up front — skip it when the budget is
+    // already gone so a zero-deadline call returns immediately.
+    let mut deltas = if n >= 2 && !budget.expired() {
         Some(DeltaTable::new(problem, &current))
     } else {
         None
     };
 
     for iter in 1..=config.max_iterations {
+        if budget.expired() {
+            break;
+        }
         iterations = iter;
         let Some(deltas) = deltas.as_mut() else { break };
         // Scan the swap neighbourhood using the cached deltas; pairs of two
@@ -345,6 +379,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn expired_budget_returns_the_valid_start() {
+        use crate::budget::SolverBudget;
+        use std::time::Duration;
+        let p = line_on_grid(8, 3, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let start = p.random_assignment(&mut rng);
+        let start_cost = p.cost(&start);
+        let budget = SolverBudget::with_deadline(Duration::ZERO);
+        let r = tabu_search_from_budgeted(&p, start, &TabuConfig::default(), &budget);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.cost, start_cost);
+        assert!(p.is_valid_assignment(&r.assignment));
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_unbudgeted_search() {
+        use crate::budget::SolverBudget;
+        let p = line_on_grid(9, 3, 3);
+        let plain = tabu_search(&p, &TabuConfig::default(), &mut StdRng::seed_from_u64(3));
+        let budgeted = tabu_search_budgeted(
+            &p,
+            &TabuConfig::default(),
+            &SolverBudget::unlimited(),
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

@@ -28,9 +28,27 @@ impl QaoaProblem {
 
     /// Creates a QAOA problem on a random `d`-regular graph with `n`
     /// vertices (the paper's `QAOA-REG-d` benchmarks, 10 instances per size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no simple `d`-regular graph on `n` vertices exists (see
+    /// [`QaoaProblem::try_random_regular`] for the non-panicking variant).
     pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         Self::new(random_regular_graph(n, d, &mut rng))
+    }
+
+    /// Like [`QaoaProblem::random_regular`], but returns a typed error when
+    /// the `(n, d)` pair admits no simple `d`-regular graph (odd `n·d`, or
+    /// `d ≥ n`) instead of panicking — the entry point for fuzzers that
+    /// draw arbitrary problem sizes.
+    pub fn try_random_regular(
+        n: usize,
+        d: usize,
+        seed: u64,
+    ) -> Result<Self, twoqan_graphs::RandomRegularError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        twoqan_graphs::try_random_regular_graph(n, d, &mut rng).map(Self::new)
     }
 
     /// Number of qubits (graph vertices).
@@ -241,5 +259,14 @@ mod tests {
     #[should_panic(expected = "assignment length")]
     fn cut_value_checks_length() {
         let _ = square().cut_value(&[true, false]);
+    }
+
+    #[test]
+    fn try_random_regular_reports_impossible_shapes_as_errors() {
+        let p = QaoaProblem::try_random_regular(10, 3, 1).unwrap();
+        assert_eq!(p.num_qubits(), 10);
+        assert_eq!(p.num_edges(), 15);
+        assert!(QaoaProblem::try_random_regular(5, 3, 1).is_err(), "odd n*d");
+        assert!(QaoaProblem::try_random_regular(4, 4, 1).is_err(), "d >= n");
     }
 }

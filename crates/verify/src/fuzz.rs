@@ -148,6 +148,44 @@ impl ConformanceReport {
         "case,workload,qubits,app_gates,device,compiler,mode,swaps,dressed_swaps,max_amplitude_error,support_qubits,status"
     }
 
+    /// The canonical JSON rendering of the run (the schema of
+    /// `VERIFY_conformance.json`, see `BENCHMARKS.md` § Verification).  The
+    /// chaos harness re-emits a zero-fault run through this to prove it
+    /// reproduces the conformance suite bit for bit.
+    pub fn to_json(&self) -> String {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"suite\": \"conformance_fuzz\",\n");
+        json.push_str(&format!("  \"combos\": {},\n", self.config.combos));
+        json.push_str(&format!("  \"seed\": {},\n", self.config.seed));
+        json.push_str(&format!(
+            "  \"tolerance\": {:.1e},\n",
+            self.config.tolerance
+        ));
+        json.push_str(&format!("  \"cases\": {},\n", self.results.len()));
+        json.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        json.push_str(&format!(
+            "  \"max_amplitude_error\": {:.3e},\n",
+            self.max_amplitude_error()
+        ));
+        json.push_str("  \"failures\": [\n");
+        let failures = self.failures();
+        for (i, f) in failures.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"case\": {}, \"workload\": \"{}\", \"device\": \"{}\", \"compiler\": \"{}\", \"reason\": \"{}\"}}{}\n",
+                f.case_id,
+                f.workload,
+                f.device,
+                f.compiler,
+                f.failure.as_deref().unwrap_or("").replace('"', "'"),
+                if i + 1 == failures.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n");
+        json.push_str("}\n");
+        json
+    }
+
     /// CSV lines, one per case.
     pub fn csv_lines(&self) -> Vec<String> {
         self.results
@@ -188,11 +226,7 @@ pub struct VerifiedCase {
 }
 
 /// Compiles `circuit` through one registry compiler and runs the complete
-/// check battery: structural invariants, dependency-DAG preservation for
-/// the order-respecting compilers, and statevector equivalence in the
-/// compiler's contract mode (strict order when the compiler respects order
-/// or every gate commutes, term permutation otherwise; connectivity is not
-/// checked for compilers that do not constrain it, i.e. NoMap).
+/// check battery (see [`verify_output`] for the checks).
 ///
 /// This is the single source of truth for each compiler's contract — the
 /// fuzz harness and the integration tests both go through it.
@@ -202,15 +236,35 @@ pub fn verify_one(
     device: &Device,
     checker: &EquivalenceChecker,
 ) -> VerifiedCase {
+    let compiled = compiler
+        .compile(circuit, device)
+        .expect("fuzz circuits fit on their devices");
+    verify_output(compiler, circuit, &compiled, device, checker)
+}
+
+/// Runs the complete check battery over an **already compiled** output:
+/// structural invariants, dependency-DAG preservation for the
+/// order-respecting compilers, and statevector equivalence in the
+/// compiler's contract mode (strict order when the compiler respects order
+/// or every gate commutes, term permutation otherwise; connectivity is not
+/// checked for compilers that do not constrain it, i.e. NoMap).
+///
+/// Splitting this off [`verify_one`] lets harnesses that obtained the
+/// output through another path — the chaos harness's deadline-degraded
+/// compilations, batch drivers — validate it against the same contract.
+pub fn verify_output(
+    compiler: &dyn Compiler,
+    circuit: &Circuit,
+    compiled: &twoqan::pipeline::CompiledOutput,
+    device: &Device,
+    checker: &EquivalenceChecker,
+) -> VerifiedCase {
     let unified = circuit.unify_same_pair_gates();
     let mode = if compiler.order_respecting() || all_gates_commute(&unified) {
         EquivalenceMode::StrictOrder
     } else {
         EquivalenceMode::TermPermutation
     };
-    let compiled = compiler
-        .compile(circuit, device)
-        .expect("fuzz circuits fit on their devices");
     let connectivity_device = compiler.constrains_connectivity().then_some(device);
     let outcome = (|| {
         check_structural(&compiled.hardware_circuit, &unified, connectivity_device)

@@ -164,7 +164,9 @@ mod tests {
     fn generic_compilation_passes_structure_and_order() {
         let circuit = trotter_step(&nnn_ising(8, 5), 1.0);
         let device = Device::grid(2, 4, TwoQubitBasis::Cnot);
-        let result = GenericCompiler::tket_like().compile(&circuit, &device);
+        let result = GenericCompiler::tket_like()
+            .compile(&circuit, &device)
+            .unwrap();
         let unified = circuit.unify_same_pair_gates();
         let report = check_structural(&result.hardware_circuit, &unified, Some(&device)).unwrap();
         assert_eq!(report.application_gates, unified.two_qubit_gate_count());

@@ -65,7 +65,9 @@ pub mod workloads;
 
 pub use equivalence::{all_gates_commute, EquivalenceChecker, EquivalenceMode, EquivalenceReport};
 pub use error::VerifyError;
-pub use fuzz::{run_fuzz, verify_one, CaseResult, ConformanceReport, FuzzConfig, VerifiedCase};
+pub use fuzz::{
+    run_fuzz, verify_one, verify_output, CaseResult, ConformanceReport, FuzzConfig, VerifiedCase,
+};
 pub use invariants::{check_order_preserved, check_structural, StructuralReport};
 pub use replay::{check_gate_multiset, extract_logical_replay, gate_signature, LogicalReplay};
 pub use workloads::{

@@ -23,7 +23,9 @@ fn main() {
             let two_qan = TwoQanCompiler::new(TwoQanConfig::default())
                 .compile(&circuit, &device)
                 .expect("fits on Sycamore");
-            let tket = GenericCompiler::tket_like().compile(&circuit, &device);
+            let tket = GenericCompiler::tket_like()
+                .compile(&circuit, &device)
+                .expect("fits on Sycamore");
             let rows = [
                 ("2QAN", two_qan.metrics),
                 ("tket-like", tket.metrics),

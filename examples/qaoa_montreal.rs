@@ -47,17 +47,22 @@ fn main() {
             "tket-like",
             GenericCompiler::tket_like()
                 .compile(&layer, &device)
+                .expect("QAOA layer fits on Montreal")
                 .metrics,
         ),
         (
             "Qiskit-like",
             GenericCompiler::qiskit_like()
                 .compile(&layer, &device)
+                .expect("QAOA layer fits on Montreal")
                 .metrics,
         ),
         (
             "IC-QAOA",
-            IcQaoaCompiler::default().compile(&layer, &device).metrics,
+            IcQaoaCompiler::default()
+                .compile(&layer, &device)
+                .expect("QAOA layer fits on Montreal")
+                .metrics,
         ),
         (
             "NoMap",

@@ -65,9 +65,15 @@ fn two_qan_beats_or_matches_every_baseline_on_swap_count() {
         let problem = QaoaProblem::random_regular(14, 3, seed);
         let circuit = problem.circuit(&[QaoaProblem::optimal_p1_angles_regular3()], false);
         let ours = compile_2qan(&circuit, &device);
-        let tket = GenericCompiler::tket_like().compile(&circuit, &device);
-        let qiskit = GenericCompiler::qiskit_like().compile(&circuit, &device);
-        let ic = IcQaoaCompiler::default().compile(&circuit, &device);
+        let tket = GenericCompiler::tket_like()
+            .compile(&circuit, &device)
+            .unwrap();
+        let qiskit = GenericCompiler::qiskit_like()
+            .compile(&circuit, &device)
+            .unwrap();
+        let ic = IcQaoaCompiler::default()
+            .compile(&circuit, &device)
+            .unwrap();
         assert!(ours.swap_count() <= tket.swap_count(), "seed {seed}");
         assert!(ours.swap_count() <= qiskit.swap_count(), "seed {seed}");
         assert!(ours.swap_count() <= ic.swap_count(), "seed {seed}");
@@ -426,8 +432,12 @@ fn qaoa_fidelity_ordering_matches_fig10() {
     let params = vec![QaoaProblem::optimal_p1_angles_regular3()];
 
     let ours = compile_2qan(&circuit, &device);
-    let tket = GenericCompiler::tket_like().compile(&circuit, &device);
-    let qiskit = GenericCompiler::qiskit_like().compile(&circuit, &device);
+    let tket = GenericCompiler::tket_like()
+        .compile(&circuit, &device)
+        .unwrap();
+    let qiskit = GenericCompiler::qiskit_like()
+        .compile(&circuit, &device)
+        .unwrap();
 
     let e_ours = evaluate_qaoa(&problem, &params, &ours.metrics, &noise);
     let e_tket = evaluate_qaoa(&problem, &params, &tket.metrics, &noise);
@@ -473,7 +483,9 @@ fn heisenberg_on_sycamore_has_negligible_syc_overhead() {
         relative * 100.0
     );
     // And the generic baseline pays much more.
-    let tket = GenericCompiler::tket_like().compile(&circuit, &device);
+    let tket = GenericCompiler::tket_like()
+        .compile(&circuit, &device)
+        .unwrap();
     assert!(
         tket.metrics.hardware_two_qubit_count as f64
             > baseline.metrics.hardware_two_qubit_count as f64 * 1.2

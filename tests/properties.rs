@@ -276,8 +276,12 @@ fn generic_baselines_are_hardware_compatible() {
         let circuit = arbitrary_circuit(rng.gen_range(4..10usize), rng);
         let device = Device::montreal();
         for result in [
-            GenericCompiler::tket_like().compile(&circuit, &device),
-            GenericCompiler::qiskit_like().compile(&circuit, &device),
+            GenericCompiler::tket_like()
+                .compile(&circuit, &device)
+                .unwrap(),
+            GenericCompiler::qiskit_like()
+                .compile(&circuit, &device)
+                .unwrap(),
         ] {
             assert!(result.hardware_compatible(&device));
             assert_eq!(result.metrics.dressed_swap_count, 0);
@@ -542,6 +546,117 @@ fn delta_table_stays_consistent_with_cost() {
                 }
             }
         }
+    });
+}
+
+/// Deadline-limited compiles always return a connectivity-valid circuit
+/// that passes the full equivalence-check battery — the anytime contract:
+/// a budget can degrade the *quality* of the result, never its
+/// *correctness*.  Exercised across random workloads and deadlines
+/// ranging from generous to already expired.
+#[test]
+fn deadline_limited_compiles_always_yield_valid_equivalent_circuits() {
+    use std::time::Duration;
+    use twoqan_repro::twoqan::CompileBudget;
+    use twoqan_repro::twoqan_verify::verify_output;
+
+    let deadlines = [
+        Duration::ZERO,
+        Duration::from_micros(200),
+        Duration::from_millis(2),
+    ];
+    let checker = EquivalenceChecker::with_tolerance(1e-9);
+    for_random_cases(9, 701, |rng| {
+        let n = rng.gen_range(6..=8usize);
+        let circuit = arbitrary_circuit(n, rng);
+        let device = Device::grid(3, 3, TwoQubitBasis::Cnot);
+        for &deadline in &deadlines {
+            let compiler = TwoQanCompiler::new(TwoQanConfig {
+                mapping_trials: 2,
+                seed: rng.gen::<u64>(),
+                budget: CompileBudget::with_deadline(deadline),
+                ..TwoQanConfig::default()
+            });
+            let output = Compiler::compile(&compiler, &circuit, &device)
+                .expect("anytime compiles never fail on a fitting circuit");
+            let case = verify_output(&compiler, &circuit, &output, &device, &checker);
+            assert!(
+                case.outcome.is_ok(),
+                "deadline {deadline:?}, rung {}: {}",
+                output.report.rung.name(),
+                case.outcome.unwrap_err()
+            );
+        }
+    });
+}
+
+/// An unlimited budget (with a disarmed fault injector attached) reproduces
+/// the stock pipeline bit for bit: the robustness layer must cost nothing
+/// on the default path.
+#[test]
+fn unlimited_budget_reproduces_the_stock_pipeline_bit_for_bit() {
+    use std::sync::Arc;
+    use twoqan_repro::twoqan::pipeline::DegradationRung;
+    use twoqan_repro::twoqan::{CompileBudget, FaultInjector};
+
+    for_random_cases(8, 702, |rng| {
+        let n = rng.gen_range(5..=9usize);
+        let circuit = arbitrary_circuit(n, rng);
+        let device = Device::grid(3, 3, TwoQubitBasis::Cnot);
+        let seed = rng.gen::<u64>();
+        let config = TwoQanConfig {
+            mapping_trials: 2,
+            seed,
+            ..TwoQanConfig::default()
+        };
+        let stock = Compiler::compile(&TwoQanCompiler::new(config.clone()), &circuit, &device)
+            .expect("stock compile succeeds");
+        let hardened = TwoQanCompiler::new(TwoQanConfig {
+            budget: CompileBudget::unlimited(),
+            ..config
+        })
+        .with_fault_injector(Arc::new(FaultInjector::disarmed()));
+        let out = Compiler::compile(&hardened, &circuit, &device).expect("hardened compile");
+        assert_eq!(out.report.rung, DegradationRung::Full);
+        assert_eq!(
+            out.hardware_circuit, stock.hardware_circuit,
+            "seed {seed}: unlimited budget changed the compiled circuit"
+        );
+        assert_eq!(out.metrics, stock.metrics);
+    });
+}
+
+/// A token cancelled before compilation starts forces the trivial-fallback
+/// rung, which still yields a connectivity-valid, equivalence-checked
+/// circuit — cancellation can never surface an invalid result.
+#[test]
+fn pre_cancelled_token_degrades_to_a_valid_trivial_fallback() {
+    use twoqan_repro::twoqan::pipeline::DegradationRung;
+    use twoqan_repro::twoqan::{CancelToken, CompileBudget};
+    use twoqan_repro::twoqan_verify::verify_output;
+
+    let checker = EquivalenceChecker::with_tolerance(1e-9);
+    for_random_cases(6, 703, |rng| {
+        let n = rng.gen_range(5..=8usize);
+        let circuit = arbitrary_circuit(n, rng);
+        let device = Device::grid(3, 3, TwoQubitBasis::Cnot);
+        let token = CancelToken::new();
+        token.cancel();
+        let compiler = TwoQanCompiler::new(TwoQanConfig {
+            mapping_trials: 2,
+            seed: rng.gen::<u64>(),
+            budget: CompileBudget::unlimited().with_cancel_token(token),
+            ..TwoQanConfig::default()
+        });
+        let output = Compiler::compile(&compiler, &circuit, &device)
+            .expect("cancellation degrades, it does not fail");
+        assert_eq!(output.report.rung, DegradationRung::TrivialFallback);
+        let case = verify_output(&compiler, &circuit, &output, &device, &checker);
+        assert!(
+            case.outcome.is_ok(),
+            "trivial fallback broke a contract: {}",
+            case.outcome.unwrap_err()
+        );
     });
 }
 
