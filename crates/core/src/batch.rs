@@ -1,10 +1,15 @@
 //! The parallel batch-compilation driver.
 //!
 //! Benchmark sweeps compile hundreds of (workload × device × compiler)
-//! combinations; [`BatchCompiler`] fans a job list out across
-//! `std::thread::scope` workers while keeping the result order identical to
-//! the job order (and therefore identical to a serial run), so sweeps stay
-//! reproducible regardless of thread count.
+//! combinations; [`BatchCompiler`] provisions one shared
+//! [`twoqan_pool::CompilePool`] per batch run and fans the job list out over
+//! it while keeping the result order identical to the job order (and
+//! therefore identical to a serial run), so sweeps stay reproducible
+//! regardless of thread count.  The pool is *installed* on every worker —
+//! including the submitting thread — so the multi-start Tabu/annealing
+//! restarts inside each job reuse the same workers instead of spawning a
+//! second nested thread layer: a batch at `--threads N` runs exactly `N`
+//! workers, end to end.
 //!
 //! Every job runs inside a `catch_unwind` isolation boundary: a panicking
 //! compiler produces a [`CompileError::Internal`] in that job's result slot
@@ -15,10 +20,9 @@
 use crate::error::CompileError;
 use crate::pipeline::{CompiledOutput, Compiler};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use twoqan_circuit::Circuit;
 use twoqan_device::Device;
+use twoqan_pool::CompilePool;
 
 /// One compilation job of a batch: a circuit, a target device and the
 /// compiler to run.
@@ -94,6 +98,12 @@ impl BatchCompiler {
 
     /// Compiles every job, in parallel, returning one result per job in job
     /// order.
+    ///
+    /// One [`CompilePool`] is provisioned for the whole batch and installed
+    /// on the submitting thread (pool workers install it on themselves), so
+    /// the solvers' nested multi-start parallelism shares the same workers
+    /// instead of spawning a second thread layer.  An already-installed pool
+    /// (a batch nested inside another batch) is reused as-is.
     pub fn compile_batch(
         &self,
         jobs: &[BatchJob<'_>],
@@ -101,31 +111,20 @@ impl BatchCompiler {
         if jobs.is_empty() {
             return Vec::new();
         }
-        let workers = self.resolved_threads(jobs.len());
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<CompiledOutput, CompileError>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let job = &jobs[i];
-                    let result = self.compile_isolated(job);
-                    *slots[i].lock().expect("no worker panics while writing") = Some(result);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("scope joined all workers")
-                    .expect("every job index below jobs.len() was claimed")
-            })
-            .collect()
+        if CompilePool::current_workers().is_some() {
+            // Nested batch: reuse the outer pool (the caller participates
+            // and helps, so this cannot deadlock and spawns nothing).
+            let results =
+                twoqan_pool::run_installed(jobs.len(), &|i: usize| self.compile_isolated(&jobs[i]));
+            return results.expect("a pool is installed on this thread");
+        }
+        let pool = CompilePool::new(self.resolved_threads(jobs.len()));
+        // Install on the submitting thread too: it participates in the
+        // batch, and its jobs' nested restarts must also reach the pool.
+        let guard = pool.install();
+        let results = pool.run_indexed(jobs.len(), |i| self.compile_isolated(&jobs[i]));
+        drop(guard);
+        results
     }
 
     /// Runs one job behind a `catch_unwind` boundary with the configured
@@ -160,6 +159,8 @@ impl BatchCompiler {
 mod tests {
     use super::*;
     use crate::{TwoQanCompiler, TwoQanConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
     use twoqan_ham::{nnn_heisenberg, nnn_ising, trotter_step};
 
     fn compiler() -> TwoQanCompiler {
@@ -184,6 +185,7 @@ mod tests {
                 compiler: &compiler,
             })
             .collect();
+        let _census = CENSUS_LOCK.lock().unwrap();
         let serial = BatchCompiler::new(1).compile_batch(&jobs);
         let parallel = BatchCompiler::new(4).compile_batch(&jobs);
         assert_eq!(serial.len(), jobs.len());
@@ -229,6 +231,10 @@ mod tests {
 
     /// Serialises the tests that replace the global panic hook.
     static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Serialises the tests that spawn pool workers, so the global
+    /// spawned-thread census test observes only its own pools.
+    static CENSUS_LOCK: Mutex<()> = Mutex::new(());
 
     /// A compiler that panics on every call.
     struct PanickyCompiler;
@@ -296,6 +302,7 @@ mod tests {
             },
         ];
         // Silence the default panic-hook backtrace noise for the expected panic.
+        let _census = CENSUS_LOCK.lock().unwrap();
         let _guard = HOOK_LOCK.lock().unwrap();
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
@@ -346,6 +353,41 @@ mod tests {
         // The retry budget was respected: only 2 attempts consumed 2 of the
         // 3 planted failures.
         assert_eq!(flaky.failures.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn batch_spawns_exactly_the_requested_workers_with_no_nested_threads() {
+        // The restarts inside each job are parallel by default; before the
+        // shared pool they spawned their own scoped threads *under* the
+        // batch workers.  Now a batch at `--threads N` must account for
+        // exactly N − 1 spawned OS threads (the caller is the N-th worker),
+        // with the nested multi-start parallelism riding the same pool.
+        let device = Device::montreal();
+        let circuits: Vec<Circuit> = (0..4)
+            .map(|s| trotter_step(&nnn_ising(7 + s % 2, s as u64), 1.0))
+            .collect();
+        let compiler = TwoQanCompiler::new(TwoQanConfig::default());
+        let jobs: Vec<BatchJob<'_>> = circuits
+            .iter()
+            .map(|c| BatchJob {
+                circuit: c,
+                device: &device,
+                compiler: &compiler,
+            })
+            .collect();
+        let _census = CENSUS_LOCK.lock().unwrap();
+        for threads in [1usize, 2, 4] {
+            let before = twoqan_pool::spawned_thread_census();
+            let results = BatchCompiler::new(threads).compile_batch(&jobs);
+            let spawned = twoqan_pool::spawned_thread_census() - before;
+            assert_eq!(
+                spawned,
+                threads - 1,
+                "--threads {threads} must spawn exactly {} worker(s)",
+                threads - 1
+            );
+            assert!(results.iter().all(Result::is_ok));
+        }
     }
 
     #[test]

@@ -55,6 +55,15 @@ pub struct TwoQanConfig {
     /// support); under a limited budget the compiler degrades along the
     /// [`DegradationRung`] ladder instead of erroring.
     pub budget: CompileBudget,
+    /// Worker count for the compile's internal parallelism (the multi-start
+    /// Tabu/annealing restarts).  `0` (the default) inherits: restarts run
+    /// on the already-installed [`twoqan_pool::CompilePool`] when one exists
+    /// (e.g. inside a [`crate::BatchCompiler`] run) and otherwise keep the
+    /// legacy `TabuConfig::parallel` behaviour.  `n ≥ 1` provisions a
+    /// dedicated `n`-worker pool for this compile — unless a pool is
+    /// already installed, which always wins so nesting never over-spawns.
+    /// Results are bit-identical for every setting.
+    pub threads: usize,
 }
 
 impl Default for TwoQanConfig {
@@ -70,6 +79,7 @@ impl Default for TwoQanConfig {
             unify_input: true,
             cost_model: CostModel::HopCount,
             budget: CompileBudget::unlimited(),
+            threads: 0,
         }
     }
 }
@@ -293,6 +303,20 @@ impl TwoQanCompiler {
         circuit: &Circuit,
         device: &Device,
     ) -> Result<(CompilationResult, PipelineReport), CompileError> {
+        // Provision a dedicated worker pool when the config asks for one and
+        // none is installed yet; an installed pool (e.g. the batch driver's)
+        // always wins so nested compiles never over-spawn.  The guard is
+        // dropped before the pool so TLS is restored first.
+        let _pool = match (
+            self.config.threads,
+            twoqan_pool::CompilePool::current_workers(),
+        ) {
+            (0, _) | (_, Some(_)) => None,
+            (n, None) => {
+                let pool = twoqan_pool::CompilePool::new(n);
+                Some((pool.install(), pool))
+            }
+        };
         let armed = self.config.budget.arm();
         let trials = self.config.mapping_trials.max(1);
         // Unify once, up front: the pre-pass draws no randomness, so every

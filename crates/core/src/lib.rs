@@ -34,8 +34,11 @@
 //! entry point over 2QAN and the `twoqan_baselines` compilers (dispatch
 //! happens through `twoqan_baselines::CompilerRegistry`), and
 //! [`BatchCompiler`] ([`batch`]) fans whole workload × device × compiler
-//! sweeps out across `std::thread::scope` workers with deterministic result
-//! ordering.
+//! sweeps out over a shared work-stealing [`pool::CompilePool`] with
+//! deterministic result ordering; the pool is provisioned once per batch
+//! run and reused by the solvers' nested multi-start restarts (and by
+//! standalone compiles via [`TwoQanConfig::threads`]), so a run at
+//! `--threads N` uses exactly `N` workers with no nested spawning.
 //!
 //! # Example
 //!
@@ -67,6 +70,8 @@ pub mod pipeline;
 pub mod routing;
 pub mod scheduling;
 
+pub use twoqan_pool as pool;
+
 pub use batch::{BatchCompiler, BatchJob};
 pub use budget::{CancelToken, CompileBudget, SolverBudget};
 pub use compiler::{CompilationResult, TwoQanCompiler, TwoQanConfig};
@@ -80,4 +85,5 @@ pub use pipeline::{
     ensure_fits, CompilationContext, CompiledOutput, Compiler, DegradationRung, Pass, PassManager,
     PassRecord, PipelineReport,
 };
+pub use pool::CompilePool;
 pub use routing::{RoutedCircuit, RoutingConfig, RoutingStage, SwapAction};

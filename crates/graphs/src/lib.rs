@@ -26,6 +26,7 @@ pub mod graph;
 pub mod parallel;
 pub mod qap;
 pub mod random_regular;
+pub mod simd;
 pub mod tabu;
 pub mod weighted;
 
@@ -40,7 +41,8 @@ pub use graph::Graph;
 pub use qap::QapProblem;
 pub use random_regular::{random_regular_graph, try_random_regular_graph, RandomRegularError};
 pub use tabu::{
-    tabu_search, tabu_search_budgeted, tabu_search_from, tabu_search_from_budgeted, DeltaTable,
+    build_delta_table_reference, select_best_move, select_best_move_reference, tabu_search,
+    tabu_search_budgeted, tabu_search_from, tabu_search_from_budgeted, DeltaTable, ScanOutcome,
     TabuConfig, TabuResult,
 };
 pub use weighted::WeightedDistanceMatrix;

@@ -25,11 +25,20 @@ pub struct QapProblem {
     m: usize,
     flow: Vec<f64>,
     distance: Vec<f64>,
+    /// Symmetric flow sums, `sym[i·n + j] = flow(i, j) + flow(j, i)`.  The
+    /// delta-table kernels stream over whole `sym` rows instead of gathering
+    /// matching `flow` row/column entries.
+    sym: Vec<f64>,
     /// `active[i]` is `false` for facilities whose flow row and column are
     /// all zero — the dummy facilities introduced by device-size padding.
     /// Exchanging two inactive facilities never changes the cost, so the
     /// solvers skip those pairs.
     active: Vec<bool>,
+    /// Index of the highest-numbered active facility (`None` when every
+    /// facility is a dummy).  Rows past this index contain only dummy-dummy
+    /// pairs, so neighbourhood scans truncate there (the per-row "active
+    /// span").
+    last_active: Option<usize>,
 }
 
 impl QapProblem {
@@ -73,18 +82,27 @@ impl QapProblem {
             m >= n,
             "need at least as many locations ({m}) as facilities ({n})"
         );
-        let active = (0..n)
+        let active: Vec<bool> = (0..n)
             .map(|i| {
                 flow[i * n..(i + 1) * n].iter().any(|&f| f != 0.0)
                     || (0..n).any(|k| flow[k * n + i] != 0.0)
             })
             .collect();
+        let last_active = active.iter().rposition(|&a| a);
+        let mut sym = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                sym[i * n + j] = flow[i * n + j] + flow[j * n + i];
+            }
+        }
         Self {
             n,
             m,
             flow,
             distance,
+            sym,
             active,
+            last_active,
         }
     }
 
@@ -178,11 +196,39 @@ impl QapProblem {
         &self.distance[a * self.m..(a + 1) * self.m]
     }
 
+    /// The `i`-th row of the symmetric flow sums,
+    /// `sym_row(i)[j] = flow(i, j) + flow(j, i)`.
+    #[inline]
+    pub fn sym_row(&self, i: usize) -> &[f64] {
+        &self.sym[i * self.n..(i + 1) * self.n]
+    }
+
     /// Returns `false` for dummy facilities (all-zero flow row and column)
     /// introduced by padding the QAP up to the device size.
     #[inline]
     pub fn is_active(&self, i: usize) -> bool {
         self.active[i]
+    }
+
+    /// Index of the highest-numbered active facility, or `None` when all
+    /// facilities are dummies.
+    #[inline]
+    pub fn last_active(&self) -> Option<usize> {
+        self.last_active
+    }
+
+    /// Scan span for row `i` of the swap neighbourhood: candidate partners
+    /// are `j ∈ (i, span)`.  Active rows pair with every later facility;
+    /// dummy rows only pair with later *active* facilities (dummy-dummy
+    /// swaps never change the cost), so their span truncates at the last
+    /// active facility.
+    #[inline]
+    pub fn scan_span(&self, i: usize) -> usize {
+        if self.active[i] {
+            self.n
+        } else {
+            self.last_active.map_or(0, |last| last + 1)
+        }
     }
 
     /// The QAP objective (Eq. 7) for an assignment `φ`:

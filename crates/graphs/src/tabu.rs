@@ -20,6 +20,7 @@
 use crate::budget::SolverBudget;
 use crate::parallel::run_indexed;
 use crate::qap::QapProblem;
+use crate::simd;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,32 +106,93 @@ pub fn tabu_search_budgeted<R: Rng + ?Sized>(
         .expect("at least one restart is always performed")
 }
 
+/// How many scan/build rows are processed between cooperative budget
+/// checks — one "tile" of the blocked sweep.
+const BUDGET_CHECK_ROWS: usize = 32;
+
 /// Incrementally maintained swap-delta table over facility pairs `i < j`.
 ///
 /// `delta(i, j)` always equals `QapProblem::swap_delta(&current, i, j)` for
 /// the solver's current assignment; [`DeltaTable::apply_swap`] keeps that
 /// invariant after an accepted move.  Pairs of two inactive (dummy
 /// padding) facilities are excluded: their delta is identically zero and
-/// swapping them never helps, so the neighbourhood scan skips them.
+/// swapping them never helps, so the neighbourhood scan skips them — each
+/// row's candidate partners are its *active span*
+/// ([`QapProblem::scan_span`]).
+///
+/// The table is the 95% hot path of a compile, so it is built for streaming:
+///
+/// * `dloc` caches the assignment-permuted distance matrix
+///   (`dloc[r·n + k] = d(φ(r), φ(k))`), turning every delta recomputation
+///   into a gather-free dot product over four contiguous rows
+///   ([`crate::simd::delta_dot`]);
+/// * [`DeltaTable::apply_swap`] applies the Taillard update as a rank-1
+///   row sweep (`(sg[i] − sg[j])·(h[i] − h[j])` from two O(n) difference
+///   vectors) via the explicit-SIMD seam ([`crate::simd::update_row`]);
+/// * each row's minimum is cached while its data is hot (`row_min`), giving
+///   the neighbourhood scan a lower bound to early-abort whole rows.
 #[derive(Debug, Clone)]
 pub struct DeltaTable {
     n: usize,
+    /// Upper-triangle swap deltas in a full row-major `n × n` buffer.
     delta: Vec<f64>,
+    /// Assignment-permuted distances: `dloc[r·n + k] = d(φ(r), φ(k))`.
+    dloc: Vec<f64>,
+    /// `row_min[i] = min over j ∈ (i, span(i)) of delta(i, j)`; `+∞` for
+    /// empty rows.  A conservative lower bound for the early-abort scan
+    /// (it ignores tabu status, so it never overestimates).
+    row_min: Vec<f64>,
+    /// Scratch for [`DeltaTable::apply_swap`]: `sg`, `h`, `sg·h`.
+    scratch: Vec<f64>,
 }
 
 impl DeltaTable {
-    /// Builds the table for `assignment` in O(n³) (n² pairs × O(n) each).
+    /// Builds the table for `assignment` (O(n³), but streaming + SIMD).
     pub fn new(problem: &QapProblem, assignment: &[usize]) -> Self {
+        Self::new_budgeted(problem, assignment, &SolverBudget::unlimited())
+            .expect("an unlimited budget never expires")
+    }
+
+    /// Builds the table under a cooperative budget, checked once per
+    /// [`BUDGET_CHECK_ROWS`]-row tile.  Returns `None` if the budget expires
+    /// mid-build so deadline-limited solvers can fall back to best-so-far
+    /// without paying for the rest of the O(n³) build.
+    pub fn new_budgeted(
+        problem: &QapProblem,
+        assignment: &[usize],
+        budget: &SolverBudget,
+    ) -> Option<Self> {
         let n = problem.num_facilities();
-        let mut delta = vec![0.0; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if problem.is_active(i) || problem.is_active(j) {
-                    delta[i * n + j] = problem.swap_delta(assignment, i, j);
-                }
+        let mut dloc = vec![0.0; n * n];
+        for (r, row) in dloc.chunks_exact_mut(n).enumerate() {
+            let drow = problem.distance_row(assignment[r]);
+            for (k, slot) in row.iter_mut().enumerate() {
+                *slot = drow[assignment[k]];
             }
         }
-        Self { n, delta }
+        let mut delta = vec![0.0; n * n];
+        let mut row_min = vec![f64::INFINITY; n];
+        for i in 0..n {
+            if i % BUDGET_CHECK_ROWS == 0 && budget.expired() {
+                return None;
+            }
+            let span = problem.scan_span(i);
+            let lo = i + 1;
+            if lo >= span {
+                continue;
+            }
+            for j in lo..span {
+                delta[i * n + j] = delta_pair(problem, &dloc, n, i, j);
+            }
+            row_min[i] = simd::row_min(&delta[i * n + lo..i * n + span]);
+        }
+        Some(Self {
+            n,
+            delta,
+            dloc,
+            row_min,
+            scratch: vec![0.0; 3 * n],
+        })
     }
 
     /// The cached cost change of exchanging facilities `i` and `j`
@@ -141,29 +203,231 @@ impl DeltaTable {
         self.delta[i * self.n + j]
     }
 
+    /// Lower bound on `delta(i, j)` over row `i`'s active span (`+∞` for
+    /// rows with no candidate partner).
+    #[inline]
+    pub fn row_lower_bound(&self, i: usize) -> f64 {
+        self.row_min[i]
+    }
+
     /// Updates the table after the swap of facilities `u` and `v` has been
     /// applied to `assignment` (which must already reflect the swap).
     ///
-    /// Pairs disjoint from `{u, v}` get the O(1) Taillard update; the O(n)
-    /// pairs touching `u` or `v` are recomputed in O(n) each, for an O(n²)
-    /// total — the same order as one neighbourhood scan.
+    /// Pairs disjoint from `{u, v}` get the O(1) Taillard update, applied as
+    /// a SIMD rank-1 row sweep; the O(n) pairs touching `u` or `v` are
+    /// recomputed as streaming dot products, for an O(n²) total — the same
+    /// order as one neighbourhood scan.
     pub fn apply_swap(&mut self, problem: &QapProblem, assignment: &[usize], u: usize, v: usize) {
         let n = self.n;
+        debug_assert!(u != v && u < n && v < n);
+        debug_assert_eq!(assignment.len(), n);
+        let (u, v) = (u.min(v), u.max(v));
+
+        // 1. Re-permute the cached distance matrix: swapping facilities u, v
+        //    permutes dloc by the transposition (u v) on both axes.
+        for r in 0..n {
+            self.dloc.swap(r * n + u, r * n + v);
+        }
+        let (head, tail) = self.dloc.split_at_mut(v * n);
+        head[u * n..(u + 1) * n].swap_with_slice(&mut tail[..n]);
+        debug_assert_eq!(
+            self.dloc[u * n + v],
+            problem.distance(assignment[u], assignment[v])
+        );
+
+        // 2. Difference vectors for the rank-1 Taillard update: for any pair
+        //    {i, j} disjoint from {u, v},
+        //    Δ'(i, j) = Δ(i, j) + (sg[i] − sg[j])·(h[i] − h[j])
+        //    with sg[i] = sym(i, u) − sym(i, v) (flow side, rows + columns
+        //    folded through the symmetric sums) and h[i] = d(φ(i), a) −
+        //    d(φ(i), b) (distance side; a/b are u/v's pre-swap locations,
+        //    i.e. φ(v)/φ(u) *after* the swap — dloc columns v/u).
+        let (sg, rest) = self.scratch.split_at_mut(n);
+        let (h, sgh) = rest.split_at_mut(n);
         for i in 0..n {
-            for j in (i + 1)..n {
-                if !problem.is_active(i) && !problem.is_active(j) {
-                    continue;
+            let sym_i = problem.sym_row(i);
+            sg[i] = sym_i[u] - sym_i[v];
+            h[i] = self.dloc[i * n + v] - self.dloc[i * n + u];
+            sgh[i] = sg[i] * h[i];
+        }
+
+        // 3. Sweep the rows.  Inactive-inactive pairs stay at exactly 0.0:
+        //    dummy facilities have all-zero sym rows, so sg (and sgh) vanish
+        //    and the blanket update adds 0.0·(h[i] − h[j]) = ±0.0.
+        for i in 0..n {
+            let span = problem.scan_span(i);
+            let lo = i + 1;
+            if lo >= span {
+                continue;
+            }
+            let row = &mut self.delta[i * n + lo..i * n + span];
+            if i == u || i == v {
+                for (off, slot) in row.iter_mut().enumerate() {
+                    *slot = delta_pair(problem, &self.dloc, n, i, lo + off);
                 }
-                let idx = i * n + j;
-                if i == u || i == v || j == u || j == v {
-                    self.delta[idx] = problem.swap_delta(assignment, i, j);
-                } else {
-                    self.delta[idx] =
-                        problem.swap_delta_update(assignment, self.delta[idx], i, j, u, v);
+            } else {
+                simd::update_row(
+                    row,
+                    &sg[lo..span],
+                    &h[lo..span],
+                    &sgh[lo..span],
+                    sg[i],
+                    h[i],
+                );
+                // The blanket update is wrong for the two recompute columns;
+                // overwrite them with exact streaming recomputations.
+                if u > i && u < span {
+                    self.delta[i * n + u] = delta_pair(problem, &self.dloc, n, i, u);
                 }
+                if v > i && v < span {
+                    self.delta[i * n + v] = delta_pair(problem, &self.dloc, n, i, v);
+                }
+            }
+            self.row_min[i] = simd::row_min(&self.delta[i * n + lo..i * n + span]);
+        }
+    }
+}
+
+/// Streaming recomputation of `QapProblem::swap_delta(φ, i, j)` from the
+/// permuted distance cache:
+/// `Σ_{k ≠ i,j} (sym_i[k] − sym_j[k])·(dloc_j[k] − dloc_i[k])` (the direct
+/// `{i, j}` term cancels because hardware distance matrices are symmetric).
+/// Exact — not merely close — on integer-valued matrices, since every
+/// intermediate is an exactly-representable integer.
+#[inline]
+fn delta_pair(problem: &QapProblem, dloc: &[f64], n: usize, i: usize, j: usize) -> f64 {
+    let sym_i = problem.sym_row(i);
+    let sym_j = problem.sym_row(j);
+    let dloc_i = &dloc[i * n..(i + 1) * n];
+    let dloc_j = &dloc[j * n..(j + 1) * n];
+    let full = simd::delta_dot(sym_i, sym_j, dloc_j, dloc_i);
+    let at_i = (sym_i[i] - sym_j[i]) * (dloc_j[i] - dloc_i[i]);
+    let at_j = (sym_i[j] - sym_j[j]) * (dloc_j[j] - dloc_i[j]);
+    full - at_i - at_j
+}
+
+/// Outcome of one neighbourhood scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScanOutcome {
+    /// Best admissible move `(i, j, delta)` under the usual Tabu rules.
+    Move(usize, usize, f64),
+    /// No admissible move exists (everything tabu without aspiration).
+    Exhausted,
+    /// The solver budget expired mid-scan; stop and keep best-so-far.
+    Expired,
+}
+
+/// Blocked, early-aborting neighbourhood scan over the cached delta table.
+///
+/// Semantically identical to [`select_best_move_reference`] (same move, same
+/// delta, same tie-breaks) whenever the budget does not expire: rows are
+/// skipped only when their cached lower bound ([`DeltaTable::row_lower_bound`],
+/// a min over a *superset* of the admissible moves) cannot strictly beat the
+/// current candidate, and candidate replacement itself requires a strictly
+/// smaller delta, so a skipped row can never contain the winning move.
+/// Surviving rows are rescanned with the exact reference semantics in index
+/// order, preserving first-wins tie-breaking.  The budget is checked once
+/// per [`BUDGET_CHECK_ROWS`]-row tile.
+pub fn select_best_move(
+    table: &DeltaTable,
+    problem: &QapProblem,
+    tabu_until: &[usize],
+    iter: usize,
+    current_cost: f64,
+    best_cost: f64,
+    budget: &SolverBudget,
+) -> ScanOutcome {
+    let n = problem.num_facilities();
+    let mut best: Option<(usize, usize, f64)> = None;
+    for i in 0..n {
+        if i % BUDGET_CHECK_ROWS == 0 && budget.expired() {
+            return ScanOutcome::Expired;
+        }
+        let span = problem.scan_span(i);
+        let lo = i + 1;
+        if lo >= span {
+            continue;
+        }
+        if let Some((_, _, d)) = best {
+            if table.row_lower_bound(i) >= d {
+                continue;
+            }
+        }
+        let i_active = problem.is_active(i);
+        for j in lo..span {
+            // The span truncates dummy rows at the last active facility, but
+            // dummy partners *below* it still need the reference's
+            // dummy-dummy exclusion.
+            if !i_active && !problem.is_active(j) {
+                continue;
+            }
+            let delta = table.delta(i, j);
+            let is_tabu = tabu_until[i * n + j] > iter;
+            let aspires = current_cost + delta < best_cost - 1e-12;
+            if is_tabu && !aspires {
+                continue;
+            }
+            if best.map(|(_, _, d)| delta < d).unwrap_or(true) {
+                best = Some((i, j, delta));
             }
         }
     }
+    match best {
+        Some((i, j, delta)) => ScanOutcome::Move(i, j, delta),
+        None => ScanOutcome::Exhausted,
+    }
+}
+
+/// Reference full scan of the swap neighbourhood — the pre-blocking PR-1
+/// semantics, kept as the oracle for the property tests and the `--kernels`
+/// microbench.  Never checks the budget.
+pub fn select_best_move_reference(
+    table: &DeltaTable,
+    problem: &QapProblem,
+    tabu_until: &[usize],
+    iter: usize,
+    current_cost: f64,
+    best_cost: f64,
+) -> ScanOutcome {
+    let n = problem.num_facilities();
+    let mut best: Option<(usize, usize, f64)> = None;
+    for i in 0..n {
+        let i_active = problem.is_active(i);
+        for j in (i + 1)..n {
+            if !i_active && !problem.is_active(j) {
+                continue;
+            }
+            let delta = table.delta(i, j);
+            let is_tabu = tabu_until[i * n + j] > iter;
+            let aspires = current_cost + delta < best_cost - 1e-12;
+            if is_tabu && !aspires {
+                continue;
+            }
+            if best.map(|(_, _, d)| delta < d).unwrap_or(true) {
+                best = Some((i, j, delta));
+            }
+        }
+    }
+    match best {
+        Some((i, j, delta)) => ScanOutcome::Move(i, j, delta),
+        None => ScanOutcome::Exhausted,
+    }
+}
+
+/// Reference O(n³) delta-table build on top of `QapProblem::swap_delta` —
+/// the pre-blocking PR-1 semantics, kept as the oracle for property tests
+/// and the `--kernels` microbench.  Returns the full upper-triangle buffer.
+pub fn build_delta_table_reference(problem: &QapProblem, assignment: &[usize]) -> Vec<f64> {
+    let n = problem.num_facilities();
+    let mut delta = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if problem.is_active(i) || problem.is_active(j) {
+                delta[i * n + j] = problem.swap_delta(assignment, i, j);
+            }
+        }
+    }
+    delta
 }
 
 /// Runs Tabu search from an explicit starting assignment.
@@ -197,10 +461,11 @@ pub fn tabu_search_from_budgeted(
     let mut tabu_until = vec![0usize; n * n];
     let mut stall = 0usize;
     let mut iterations = 0usize;
-    // The delta table costs O(n³) up front — skip it when the budget is
-    // already gone so a zero-deadline call returns immediately.
+    // The delta table costs O(n³) up front — the budgeted build bails out
+    // per row tile, so a zero-deadline call returns (the valid start)
+    // immediately and a mid-build expiry wastes at most one tile.
     let mut deltas = if n >= 2 && !budget.expired() {
-        Some(DeltaTable::new(problem, &current))
+        DeltaTable::new_budgeted(problem, &current, budget)
     } else {
         None
     };
@@ -211,28 +476,22 @@ pub fn tabu_search_from_budgeted(
         }
         iterations = iter;
         let Some(deltas) = deltas.as_mut() else { break };
-        // Scan the swap neighbourhood using the cached deltas; pairs of two
-        // dummy facilities are never worth exchanging and are skipped.
-        let mut best_move: Option<(usize, usize, f64)> = None;
-        for i in 0..n {
-            let i_active = problem.is_active(i);
-            for j in (i + 1)..n {
-                if !i_active && !problem.is_active(j) {
-                    continue;
-                }
-                let delta = deltas.delta(i, j);
-                let is_tabu = tabu_until[i * n + j] > iter;
-                let aspires = current_cost + delta < best_cost - 1e-12;
-                if is_tabu && !aspires {
-                    continue;
-                }
-                if best_move.map(|(_, _, d)| delta < d).unwrap_or(true) {
-                    best_move = Some((i, j, delta));
-                }
-            }
-        }
-        let Some((i, j, delta)) = best_move else {
-            break;
+        // Blocked early-abort scan of the swap neighbourhood using the
+        // cached deltas and per-row lower bounds; pairs of two dummy
+        // facilities are never worth exchanging and are outside every row's
+        // active span.  The budget is re-checked per row tile so deadline
+        // expiry mid-scan still returns the best-so-far assignment.
+        let (i, j, delta) = match select_best_move(
+            deltas,
+            problem,
+            &tabu_until,
+            iter,
+            current_cost,
+            best_cost,
+            budget,
+        ) {
+            ScanOutcome::Move(i, j, delta) => (i, j, delta),
+            ScanOutcome::Exhausted | ScanOutcome::Expired => break,
         };
         current.swap(i, j);
         current_cost += delta;

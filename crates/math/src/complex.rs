@@ -19,7 +19,11 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert_eq!(i * i, Complex::new(-1.0, 0.0));
 /// assert!((Complex::from_polar(1.0, std::f64::consts::PI).re + 1.0).abs() < 1e-12);
 /// ```
+/// `repr(C)` so a `[Complex]` slice is a well-defined interleaved
+/// `re, im, re, im, …` buffer of `f64` — the statevector SIMD kernels
+/// reinterpret amplitude runs this way.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

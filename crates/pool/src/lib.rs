@@ -1,0 +1,460 @@
+//! Shared work-stealing compile pool.
+//!
+//! The workspace has two layers of data parallelism: the batch driver
+//! (`twoqan::BatchCompiler`) fans compile jobs out over threads, and *inside*
+//! each job the QAP solvers fan their multi-start restarts out again
+//! (`twoqan_graphs::run_indexed`).  Before this crate each layer spawned its
+//! own `std::thread::scope`, which oversubscribes small machines
+//! (jobs × restarts threads) and collapses to serial on 1-core ones.
+//!
+//! [`CompilePool`] replaces both layers with **one** set of long-lived worker
+//! threads provisioned once per batch run (or once per compile when a
+//! `threads` knob is set).  Work is submitted as *indexed batches*
+//! ([`CompilePool::run_indexed`]): the submitting thread participates as a
+//! worker, idle workers steal tickets from a shared queue, and results are
+//! collected by index, so the output is bit-identical to serial execution for
+//! any worker count and any scheduling.
+//!
+//! Nesting is deadlock-free by construction: a worker that is executing a
+//! batch item and submits a nested batch keeps draining indices itself
+//! (caller participation) and *helps* with other queued work while waiting
+//! for stragglers, so progress never depends on a free worker existing.
+//!
+//! The crate is std-only (the build environment has no crates.io access) and
+//! keeps a global census of every OS thread spawned for compile work — pool
+//! workers and any legacy scoped fallback — so tests can prove that a run at
+//! `--threads N` used exactly `N` workers with no nested spawning.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Global count of OS threads ever spawned for compile work (pool workers
+/// plus any legacy scoped-thread fallback).  Monotonic; read it before and
+/// after an operation to count the threads that operation spawned.
+static SPAWNED_THREAD_CENSUS: AtomicUsize = AtomicUsize::new(0);
+
+/// Returns the global spawned-thread census (see [`census_add`]).
+pub fn spawned_thread_census() -> usize {
+    SPAWNED_THREAD_CENSUS.load(Ordering::SeqCst)
+}
+
+/// Records `n` newly spawned compile-work threads in the global census.
+///
+/// The pool calls this for its own workers; the legacy scoped fallback in
+/// `twoqan_graphs::run_indexed` calls it for each scoped thread so tests can
+/// assert that no nested spawning happens while a pool is installed.
+pub fn census_add(n: usize) {
+    SPAWNED_THREAD_CENSUS.fetch_add(n, Ordering::SeqCst);
+}
+
+/// A batch of `count` indexed work items sharing one type-erased entry point.
+///
+/// `ctx` points at a stack frame of the submitting `run_on` call.  Safety
+/// contract: `run` is only ever invoked for indices `k < count` claimed via
+/// `next.fetch_add`, and `run_on` does not return until `pending == 0`, i.e.
+/// until every claimed index has finished executing.  Tickets that outlive
+/// the batch (stale queue entries) observe `next >= count` and return without
+/// touching `ctx`, so the dangling pointer is never dereferenced.
+struct BatchShared {
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
+    next: AtomicUsize,
+    count: usize,
+    pending: AtomicUsize,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `ctx` is only dereferenced under the claim protocol documented on
+// the struct; the pointed-to `Ctx` (`&F` + result slots) is `Sync`.
+unsafe impl Send for BatchShared {}
+unsafe impl Sync for BatchShared {}
+
+impl BatchShared {
+    /// Claims and runs one index. Returns `false` once the batch is drained.
+    fn execute_one(&self) -> bool {
+        let k = self.next.fetch_add(1, Ordering::Relaxed);
+        if k >= self.count {
+            return false;
+        }
+        // SAFETY: k < count was claimed exactly once, and `run_on` keeps
+        // `ctx` alive until `pending` reaches zero (decremented below,
+        // strictly after the call returns).
+        unsafe { (self.run)(self.ctx, k) };
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.done_lock.lock().expect("done lock poisoned");
+            self.done_cv.notify_all();
+        }
+        true
+    }
+
+    /// Runs indices until the batch has none left to claim.
+    fn drain(&self) {
+        while self.execute_one() {}
+    }
+}
+
+struct Inner {
+    queue: Mutex<VecDeque<Arc<BatchShared>>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Total worker count, including the submitting caller thread.
+    workers: usize,
+}
+
+impl Inner {
+    fn try_pop(&self) -> Option<Arc<BatchShared>> {
+        self.queue.lock().expect("pool queue poisoned").pop_front()
+    }
+
+    fn push_tickets(&self, batch: &Arc<BatchShared>, tickets: usize) {
+        if tickets == 0 {
+            return;
+        }
+        {
+            let mut queue = self.queue.lock().expect("pool queue poisoned");
+            for _ in 0..tickets {
+                queue.push_back(Arc::clone(batch));
+            }
+        }
+        if tickets == 1 {
+            self.queue_cv.notify_one();
+        } else {
+            self.queue_cv.notify_all();
+        }
+    }
+}
+
+thread_local! {
+    /// The pool the current thread submits nested work to.  Set for pool
+    /// worker threads at startup and for arbitrary threads via
+    /// [`CompilePool::install`].
+    static CURRENT: RefCell<Option<Arc<Inner>>> = const { RefCell::new(None) };
+}
+
+/// A fixed-size work-stealing pool for compile jobs and solver restarts.
+///
+/// `CompilePool::new(n)` provisions `n` workers *total*: `n - 1` dedicated OS
+/// threads plus the submitting caller, which always participates.  `n <= 1`
+/// therefore spawns nothing and every batch runs inline on the caller —
+/// exactly the serial path.
+pub struct CompilePool {
+    inner: Arc<Inner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CompilePool {
+    /// Creates a pool with `threads` total workers (clamped to at least 1).
+    /// Spawns `threads - 1` OS threads; the caller is the remaining worker.
+    pub fn new(threads: usize) -> Self {
+        let workers = threads.max(1);
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers,
+        });
+        let spawned = workers - 1;
+        census_add(spawned);
+        let handles = (0..spawned)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("twoqan-pool-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        CompilePool { inner, handles }
+    }
+
+    /// Total worker count (dedicated threads + the submitting caller).
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Installs this pool as the current thread's submission target and
+    /// returns a guard that restores the previous target on drop.  While
+    /// installed, `twoqan_graphs::run_indexed` (and anything else using
+    /// [`run_installed`]) routes through this pool instead of spawning.
+    pub fn install(&self) -> PoolGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(&self.inner)));
+        PoolGuard { prev }
+    }
+
+    /// Worker count of the pool installed on the current thread, if any.
+    pub fn current_workers() -> Option<usize> {
+        CURRENT.with(|c| c.borrow().as_ref().map(|inner| inner.workers))
+    }
+
+    /// Runs `f(0), …, f(count - 1)` on this pool and returns the results in
+    /// index order.  The caller participates; panics in `f` are captured and
+    /// re-raised on the caller (lowest panicking index wins) after the whole
+    /// batch has settled.
+    pub fn run_indexed<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        run_on(&self.inner, count, &f)
+    }
+}
+
+impl Drop for CompilePool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Restores the thread's previous submission target when dropped.
+pub struct PoolGuard {
+    prev: Option<Arc<Inner>>,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Runs an indexed batch on the pool installed on the current thread, if
+/// any.  Returns `None` when no pool is installed (caller should fall back
+/// to its own strategy).  With a 1-worker pool installed this still returns
+/// `Some` — executing serially inline — so an installed pool is *always* the
+/// sole source of compile-work threads.
+pub fn run_installed<T, F>(count: usize, f: &F) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let inner = CURRENT.with(|c| c.borrow().clone())?;
+    Some(run_on(&inner, count, f))
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&inner)));
+    loop {
+        let ticket = {
+            let mut queue = inner.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(ticket) = queue.pop_front() {
+                    break Some(ticket);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = inner.queue_cv.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        match ticket {
+            Some(ticket) => ticket.drain(),
+            None => return,
+        }
+    }
+}
+
+fn run_on<T, F>(inner: &Arc<Inner>, count: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    // Serial fast path: a 1-worker pool, or a single-item batch, runs inline
+    // with no queue traffic.  Identical results by construction.
+    if inner.workers <= 1 || count == 1 {
+        return (0..count).map(f).collect();
+    }
+
+    type Slot<T> = Mutex<Option<std::thread::Result<T>>>;
+    struct Ctx<'a, T, F> {
+        f: &'a F,
+        slots: &'a [Slot<T>],
+    }
+    /// Type-erased entry point; monomorphized per (T, F).
+    ///
+    /// SAFETY (caller): `ctx` must point at a live `Ctx<T, F>` and `k` must
+    /// be a uniquely claimed index `< slots.len()`.
+    unsafe fn entry<T, F>(ctx: *const (), k: usize)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let ctx = unsafe { &*(ctx as *const Ctx<'_, T, F>) };
+        let result = catch_unwind(AssertUnwindSafe(|| (ctx.f)(k)));
+        *ctx.slots[k].lock().expect("pool result slot poisoned") = Some(result);
+    }
+
+    let slots: Vec<Slot<T>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let ctx = Ctx { f, slots: &slots };
+    let batch = Arc::new(BatchShared {
+        run: entry::<T, F>,
+        ctx: (&ctx as *const Ctx<'_, T, F>).cast(),
+        next: AtomicUsize::new(0),
+        count,
+        pending: AtomicUsize::new(count),
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+
+    // One ticket per helper that could usefully join in; each popped ticket
+    // drains the batch cooperatively, and stale tickets are harmless no-ops.
+    let tickets = (inner.workers - 1).min(count - 1);
+    inner.push_tickets(&batch, tickets);
+
+    // The caller is a worker too: claim indices until none are left…
+    batch.drain();
+    // …then help with other queued work (e.g. nested batches submitted by
+    // the items we just ran on other workers) while stragglers finish.
+    while batch.pending.load(Ordering::Acquire) > 0 {
+        if let Some(other) = inner.try_pop() {
+            other.drain();
+            continue;
+        }
+        let guard = batch.done_lock.lock().expect("done lock poisoned");
+        if batch.pending.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        // Timed wait: new stealable work arrives via the *queue* condvar, so
+        // poll briefly rather than blocking solely on batch completion.
+        let _ = batch
+            .done_cv
+            .wait_timeout(guard, Duration::from_micros(200))
+            .expect("done lock poisoned");
+    }
+
+    drop(batch);
+    let mut panic_payload = None;
+    let mut results = Vec::with_capacity(count);
+    for slot in slots {
+        let value = slot
+            .into_inner()
+            .expect("pool result slot poisoned")
+            .expect("every index is executed exactly once");
+        match value {
+            Ok(value) => results.push(value),
+            Err(payload) => {
+                if panic_payload.is_none() {
+                    panic_payload = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered_and_serial_identical() {
+        let pool = CompilePool::new(4);
+        let serial: Vec<usize> = (0..100).map(|k| k * 3 + 1).collect();
+        for _ in 0..10 {
+            assert_eq!(pool.run_indexed(100, |k| k * 3 + 1), serial);
+        }
+    }
+
+    #[test]
+    fn one_worker_pool_spawns_nothing_and_runs_serially() {
+        let before = spawned_thread_census();
+        let pool = CompilePool::new(1);
+        assert_eq!(spawned_thread_census(), before);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run_indexed(5, |k| k), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spawns_exactly_workers_minus_one_threads() {
+        let before = spawned_thread_census();
+        let pool = CompilePool::new(7);
+        assert_eq!(spawned_thread_census() - before, 6);
+        assert_eq!(pool.workers(), 7);
+        drop(pool);
+        // Dropping joins workers without spawning more.
+        assert_eq!(spawned_thread_census() - before, 6);
+    }
+
+    #[test]
+    fn nested_batches_complete_without_deadlock() {
+        let pool = CompilePool::new(2);
+        let _guard = pool.install();
+        // Each outer item submits a nested batch; nesting happens both on
+        // the caller thread and on the single dedicated worker.
+        let outer = pool.run_indexed(8, |i| {
+            let inner: Vec<usize> =
+                run_installed(6, &|j| i * 10 + j).expect("pool is installed on worker threads");
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..6).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(outer, expect);
+    }
+
+    #[test]
+    fn install_guard_restores_previous_target() {
+        assert!(CompilePool::current_workers().is_none());
+        let pool_a = CompilePool::new(2);
+        let pool_b = CompilePool::new(3);
+        {
+            let _a = pool_a.install();
+            assert_eq!(CompilePool::current_workers(), Some(2));
+            {
+                let _b = pool_b.install();
+                assert_eq!(CompilePool::current_workers(), Some(3));
+            }
+            assert_eq!(CompilePool::current_workers(), Some(2));
+        }
+        assert!(CompilePool::current_workers().is_none());
+    }
+
+    #[test]
+    fn run_installed_without_pool_returns_none() {
+        assert!(run_installed(3, &|k: usize| k).is_none());
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller_lowest_index_first() {
+        let pool = CompilePool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(16, |k| {
+                if k == 4 {
+                    panic!("boom at 4");
+                }
+                k
+            })
+        }));
+        let payload = result.expect_err("the batch panics");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("boom at 4"),
+            "unexpected payload: {message}"
+        );
+        // The pool stays usable after a panicking batch.
+        assert_eq!(pool.run_indexed(3, |k| k), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_count_is_a_no_op() {
+        let pool = CompilePool::new(2);
+        assert_eq!(pool.run_indexed(0, |k| k), Vec::<usize>::new());
+    }
+}

@@ -718,18 +718,9 @@ pub fn apply_two_kernel(
                         let s01 = shared.slice(i00 + bit_b, run);
                         let s10 = shared.slice(i00 + bit_a, run);
                         let s11 = shared.slice(i00 + bit_a + bit_b, run);
-                        for (((a, b), c), e) in s00
-                            .iter_mut()
-                            .zip(s01.iter_mut())
-                            .zip(s10.iter_mut())
-                            .zip(s11.iter_mut())
-                        {
-                            let v = [*a, *b, *c, *e];
-                            *a = m[0][0] * v[0] + m[0][1] * v[1] + m[0][2] * v[2] + m[0][3] * v[3];
-                            *b = m[1][0] * v[0] + m[1][1] * v[1] + m[1][2] * v[2] + m[1][3] * v[3];
-                            *c = m[2][0] * v[0] + m[2][1] * v[1] + m[2][2] * v[2] + m[2][3] * v[3];
-                            *e = m[3][0] * v[0] + m[3][1] * v[1] + m[3][2] * v[2] + m[3][3] * v[3];
-                        }
+                        // Explicit-SIMD dense 4×4 update (bit-identical to
+                        // the scalar fallback — see `crate::simd`).
+                        crate::simd::apply_general4(u, s00, s01, s10, s11);
                     });
                 } else {
                     for k in start..end {

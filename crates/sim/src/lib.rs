@@ -25,6 +25,7 @@
 pub mod kernels;
 pub mod noise;
 pub mod qaoa_eval;
+pub mod simd;
 pub mod statevector;
 pub mod trajectories;
 

@@ -424,6 +424,73 @@ fn batch_driver_matches_per_call_compilation() {
 }
 
 #[test]
+fn every_compiler_is_bit_identical_serial_vs_pooled() {
+    // Acceptance criterion for the shared compile pool: for every registered
+    // compiler, compiling the seeded fig09/fig10 workloads on an installed
+    // pool of any size — directly or through the batch driver — produces
+    // exactly the serial result, bit for bit.
+    use twoqan_repro::twoqan::CompilePool;
+    let device = Device::montreal();
+    let (gamma, beta) = QaoaProblem::optimal_p1_angles_regular3();
+    let workloads: Vec<(&str, Circuit)> = vec![
+        (
+            "fig09-heisenberg-12",
+            trotterize(&nnn_heisenberg(12, 12000), 1, 1.0),
+        ),
+        ("fig09-ising-14", trotterize(&nnn_ising(14, 14000), 1, 1.0)),
+        (
+            "fig10-qaoa-8",
+            QaoaProblem::random_regular(8, 3, 8000).circuit(&[(gamma, beta)], false),
+        ),
+    ];
+    let registry = CompilerRegistry::all();
+    let jobs: Vec<BatchJob<'_>> = workloads
+        .iter()
+        .flat_map(|(_, circuit)| {
+            registry.iter().map(|compiler| BatchJob {
+                circuit,
+                device: &device,
+                compiler: compiler.as_ref(),
+            })
+        })
+        .collect();
+    // The report carries wall-clock timings, so equality is asserted on the
+    // deterministic payload: circuit, metrics, basis and placements.
+    fn assert_same(a: &CompiledOutput, b: &CompiledOutput, what: &str) {
+        assert_eq!(a.hardware_circuit, b.hardware_circuit, "{what}: circuit");
+        assert_eq!(a.metrics, b.metrics, "{what}: metrics");
+        assert_eq!(a.basis, b.basis, "{what}: basis");
+        assert_eq!(a.initial_placement, b.initial_placement, "{what}: initial");
+        assert_eq!(a.final_placement, b.final_placement, "{what}: final");
+    }
+    let serial = BatchCompiler::new(1).compile_batch(&jobs);
+    for threads in [2usize, 4, 7] {
+        // Through the batch driver at every worker count…
+        let pooled = BatchCompiler::new(threads).compile_batch(&jobs);
+        for (i, (s, p)) in serial.iter().zip(&pooled).enumerate() {
+            assert_same(
+                s.as_ref().unwrap(),
+                p.as_ref().unwrap(),
+                &format!("job {i} ({}) at {threads} threads", jobs[i].compiler.name()),
+            );
+        }
+        // …and directly, with a pool installed on the calling thread (the
+        // solvers' nested restarts then run on the shared workers).
+        let pool = CompilePool::new(threads);
+        let guard = pool.install();
+        for (job, s) in jobs.iter().zip(&serial) {
+            let direct = job.compiler.compile(job.circuit, job.device).unwrap();
+            assert_same(
+                &direct,
+                s.as_ref().unwrap(),
+                &format!("{} direct on a {threads}-worker pool", job.compiler.name()),
+            );
+        }
+        drop(guard);
+    }
+}
+
+#[test]
 fn qaoa_fidelity_ordering_matches_fig10() {
     let device = Device::montreal();
     let noise = NoiseModel::from_device(&device);

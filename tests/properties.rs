@@ -10,8 +10,9 @@ use rand::{Rng, SeedableRng};
 use twoqan_repro::prelude::*;
 use twoqan_repro::twoqan_circuit::GateKind;
 use twoqan_repro::twoqan_graphs::{
-    simulated_annealing, tabu_search, AnnealingConfig, DeltaTable, DistanceMatrix, Graph,
-    QapProblem, TabuConfig,
+    build_delta_table_reference, select_best_move, select_best_move_reference, simulated_annealing,
+    tabu_search, tabu_search_from_budgeted, AnnealingConfig, DeltaTable, DistanceMatrix, Graph,
+    QapProblem, ScanOutcome, SolverBudget, TabuConfig,
 };
 use twoqan_repro::twoqan_math::cost::TwoQubitBasisCost;
 use twoqan_repro::twoqan_math::weyl::{MakhlinInvariants, WeylCoordinates};
@@ -657,6 +658,161 @@ fn pre_cancelled_token_degrades_to_a_valid_trivial_fallback() {
             "trivial fallback broke a contract: {}",
             case.outcome.unwrap_err()
         );
+    });
+}
+
+/// The streaming + SIMD delta-table build is bit-identical to the O(n³)
+/// `swap_delta` reference on padded mapping instances (hop-count matrices
+/// are small integers, so every reassociation is exact).
+#[test]
+fn blocked_delta_table_build_matches_the_reference() {
+    for_random_cases(24, 201, |rng| {
+        let p = arbitrary_qap(rng);
+        let n = p.num_facilities();
+        let a = p.random_assignment(rng);
+        let table = DeltaTable::new(&p, &a);
+        let reference = build_delta_table_reference(&p, &a);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(
+                    table.delta(i, j),
+                    reference[i * n + j],
+                    "pair ({i},{j}) diverged from the reference build"
+                );
+            }
+        }
+    });
+}
+
+/// The blocked, early-aborting neighbourhood scan picks exactly the move
+/// the full reference scan picks — same pair, same delta, same tie-breaks —
+/// under random tabu state, aspiration thresholds and accepted-swap
+/// history.  This is the "early abort never skips the true best move"
+/// guarantee.
+#[test]
+fn blocked_scan_matches_the_reference_scan() {
+    for_random_cases(24, 202, |rng| {
+        let p = arbitrary_qap(rng);
+        let n = p.num_facilities();
+        let mut assignment = p.random_assignment(rng);
+        let mut table = DeltaTable::new(&p, &assignment);
+        let budget = SolverBudget::unlimited();
+        for step in 0..6 {
+            // Random tabu state: some pairs forbidden, some recently freed.
+            let tabu_until: Vec<usize> = (0..n * n).map(|_| rng.gen_range(0..8usize)).collect();
+            let iter = rng.gen_range(0..8usize);
+            let current_cost = p.cost(&assignment);
+            // best_cost sometimes below current (aspiration can fire) and
+            // sometimes above (it cannot).
+            let best_cost = current_cost + rng.gen_range(-4.0..4.0);
+            let blocked = select_best_move(
+                &table,
+                &p,
+                &tabu_until,
+                iter,
+                current_cost,
+                best_cost,
+                &budget,
+            );
+            let reference =
+                select_best_move_reference(&table, &p, &tabu_until, iter, current_cost, best_cost);
+            assert_eq!(blocked, reference, "step {step} diverged");
+            // Walk the search forward so later scans see updated tables.
+            if let ScanOutcome::Move(i, j, _) = blocked {
+                assignment.swap(i, j);
+                table.apply_swap(&p, &assignment, i, j);
+            } else {
+                break;
+            }
+        }
+    });
+}
+
+/// The budgeted blocked path honours the anytime contract: an expired
+/// budget aborts the build and the scan, and a deadline-limited search
+/// still returns a valid assignment whose reported cost is exact and no
+/// worse than its starting point.
+#[test]
+fn budgeted_blocked_path_keeps_the_anytime_contract() {
+    use std::time::Duration;
+    for_random_cases(12, 203, |rng| {
+        let p = arbitrary_qap(rng);
+        let a = p.random_assignment(rng);
+        let expired = SolverBudget::with_deadline(Duration::ZERO);
+        assert!(
+            DeltaTable::new_budgeted(&p, &a, &expired).is_none(),
+            "an expired budget must abort the table build"
+        );
+        let table = DeltaTable::new(&p, &a);
+        let tabu_until = vec![0usize; p.num_facilities() * p.num_facilities()];
+        let cost = p.cost(&a);
+        assert_eq!(
+            select_best_move(&table, &p, &tabu_until, 1, cost, cost, &expired),
+            ScanOutcome::Expired,
+            "an expired budget must abort the scan"
+        );
+        for deadline in [Duration::ZERO, Duration::from_micros(50)] {
+            let start = p.random_assignment(rng);
+            let start_cost = p.cost(&start);
+            let budget = SolverBudget::with_deadline(deadline);
+            let r = tabu_search_from_budgeted(&p, start, &TabuConfig::default(), &budget);
+            assert!(p.is_valid_assignment(&r.assignment));
+            assert_eq!(r.cost, p.cost(&r.assignment), "reported cost is stale");
+            assert!(r.cost <= start_cost, "budgeted search lost ground");
+        }
+    });
+}
+
+/// Both QAP solvers return bit-identical results whether their restarts run
+/// serially or on a shared [`CompilePool`] of any size — including a pool
+/// larger than the restart count.
+#[test]
+fn pooled_solver_restarts_are_bit_identical_for_any_worker_count() {
+    use twoqan_repro::twoqan::CompilePool;
+    for_random_cases(4, 204, |rng| {
+        let p = arbitrary_qap(rng);
+        let seed = rng.gen::<u64>();
+        let tabu = TabuConfig {
+            restarts: 3,
+            parallel: true,
+            ..TabuConfig::default()
+        };
+        let sa = AnnealingConfig {
+            restarts: 3,
+            parallel: true,
+            ..AnnealingConfig::default()
+        };
+        let serial_tabu = tabu_search(
+            &p,
+            &TabuConfig {
+                parallel: false,
+                ..tabu.clone()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let serial_sa = simulated_annealing(
+            &p,
+            &AnnealingConfig {
+                parallel: false,
+                ..sa.clone()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        for workers in [1usize, 2, 4, 7] {
+            let pool = CompilePool::new(workers);
+            let guard = pool.install();
+            let pooled_tabu = tabu_search(&p, &tabu, &mut StdRng::seed_from_u64(seed));
+            let pooled_sa = simulated_annealing(&p, &sa, &mut StdRng::seed_from_u64(seed));
+            drop(guard);
+            assert_eq!(
+                serial_tabu, pooled_tabu,
+                "tabu diverged on a {workers}-worker pool (seed {seed})"
+            );
+            assert_eq!(
+                serial_sa, pooled_sa,
+                "annealing diverged on a {workers}-worker pool (seed {seed})"
+            );
+        }
     });
 }
 
