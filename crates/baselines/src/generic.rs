@@ -118,6 +118,12 @@ impl Compiler for GenericCompiler {
         let report = self.pipeline().run(&mut ctx)?;
         Ok(ctx.into_output(self.config.name, report))
     }
+
+    fn cache_fingerprint(&self) -> u64 {
+        // A custom `GenericConfig` may reuse a display name with different
+        // placement/look-ahead knobs, so hash the whole configuration.
+        twoqan::hash::fnv1a_64(&format!("{:?}", self.config))
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,12 @@ impl Compiler for IcQaoaCompiler {
         let report = self.pipeline().run(&mut ctx)?;
         Ok(ctx.into_output(Compiler::name(self), report))
     }
+
+    fn cache_fingerprint(&self) -> u64 {
+        // The annealing placement draws from a seeded RNG, so the seed is
+        // part of the compiler's identity for caching purposes.
+        twoqan::hash::fnv1a_64(&format!("IC-QAOA|seed={}", self.seed))
+    }
 }
 
 #[cfg(test)]

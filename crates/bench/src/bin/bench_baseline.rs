@@ -2,10 +2,13 @@
 //! perf trajectory is measured against.
 //!
 //! For every size n = 10/20/40/80 (plus one n = 200 stress compile on a
-//! 15×14 grid in full runs) it times the three compiler passes (mapping,
-//! routing, scheduling) and the end-to-end pipeline on the same circuits as
-//! the `compiler_passes` criterion bench, records the per-pass wall-clock of
-//! the instrumented pass pipeline (`passes` section), and runs the whole
+//! 15×14 grid in full runs) it runs the instrumented pipeline on the same
+//! circuits as the `compiler_passes` criterion bench and derives *all* of an
+//! entry's numbers from that one sample set: `mapping_ms`, `routing_ms` and
+//! `scheduling_ms` are the medians of the `qap-mapping`,
+//! `permutation-routing` and `alap-schedule` passes, `end_to_end_ms` is the
+//! external wall-clock median of the same compiles, and the `passes` section
+//! lists every pass's median.  It also runs the whole
 //! size × compiler sweep through the parallel [`BatchCompiler`] driver at
 //! every requested worker count (`batch.sweep` section — serial wall-clock
 //! plus one `{threads, workers, ms, speedup}` point per count, where
@@ -37,9 +40,6 @@
 //! baseline.
 
 use std::time::Instant;
-use twoqan::mapping::{initial_mapping, InitialMappingStrategy};
-use twoqan::routing::{route, RoutingConfig};
-use twoqan::scheduling::{schedule, SchedulingStrategy};
 use twoqan::{BatchCompiler, BatchJob, TwoQanCompiler, TwoQanConfig};
 use twoqan_baselines::CompilerRegistry;
 use twoqan_bench::{scaling_device, LARGE_SCALING_SIZE, SCALING_SIZES};
@@ -92,56 +92,25 @@ struct Entry {
 fn measure(n: usize, samples: usize) -> Entry {
     let device = scaling_device(n);
     let circuit = trotter_step(&nnn_heisenberg(n, 1), 1.0);
-
-    let mapping_ms = median_ms(samples, || {
-        let mut rng = StdRng::seed_from_u64(3);
-        initial_mapping(
-            &circuit,
-            &device,
-            InitialMappingStrategy::TabuSearch,
-            &mut rng,
-        )
-        .unwrap();
-    });
-
-    let map = {
-        let mut rng = StdRng::seed_from_u64(3);
-        initial_mapping(
-            &circuit,
-            &device,
-            InitialMappingStrategy::TabuSearch,
-            &mut rng,
-        )
-        .unwrap()
-    };
-    let routing_ms = median_ms(samples, || {
-        let mut rng = StdRng::seed_from_u64(5);
-        route(&circuit, &device, &map, &RoutingConfig::default(), &mut rng).unwrap();
-    });
-
-    let routed = {
-        let mut rng = StdRng::seed_from_u64(5);
-        route(&circuit, &device, &map, &RoutingConfig::default(), &mut rng).unwrap()
-    };
-    let scheduling_ms = median_ms(samples, || {
-        schedule(&routed, &device, SchedulingStrategy::Hybrid);
-    });
-
     let compiler = TwoQanCompiler::new(TwoQanConfig {
         mapping_trials: 1,
         ..TwoQanConfig::default()
     });
-    let end_to_end_ms = median_ms(samples, || {
-        compiler.compile(&circuit, &device).unwrap();
-    });
 
-    // Per-pass wall-clock from the instrumented pipeline (median per pass
-    // over the same sample count).
+    // ONE sample set for everything: `samples` instrumented compiles (plus a
+    // warm-up that also fixes the pass list).  The headline per-stage numbers
+    // are the medians of the corresponding pipeline passes and the end-to-end
+    // median is the external wall-clock of the same runs, so the `mapping_ms`
+    // column and the `qap-mapping` pass can never disagree about what was
+    // measured.
     let mut per_pass: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    let mut end_to_end: Vec<f64> = Vec::with_capacity(samples);
     for sample in 0..=samples {
+        let t0 = Instant::now();
         let (_, report) = compiler.compile_with_report(&circuit, &device).unwrap();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         if sample == 0 {
-            // Warm-up run; also fixes the pass list.
+            // Warm-up run (populates the device distance cache etc.).
             per_pass = report
                 .passes
                 .iter()
@@ -149,24 +118,32 @@ fn measure(n: usize, samples: usize) -> Entry {
                 .collect();
             continue;
         }
+        end_to_end.push(wall_ms);
         for (slot, record) in per_pass.iter_mut().zip(&report.passes) {
             debug_assert_eq!(slot.0, record.name);
             slot.1.push(record.wall_ms);
         }
     }
-    let passes = per_pass
+    let passes: Vec<(&'static str, f64)> = per_pass
         .into_iter()
         .map(|(name, samples)| (name, median(samples)))
         .collect();
+    let pass_ms = |name: &str| {
+        passes
+            .iter()
+            .find(|(pass, _)| *pass == name)
+            .map(|&(_, ms)| ms)
+            .unwrap_or_else(|| panic!("pipeline has no {name} pass"))
+    };
 
     Entry {
         n,
         device: device.name().to_string(),
         samples,
-        mapping_ms,
-        routing_ms,
-        scheduling_ms,
-        end_to_end_ms,
+        mapping_ms: pass_ms("qap-mapping"),
+        routing_ms: pass_ms("permutation-routing"),
+        scheduling_ms: pass_ms("alap-schedule"),
+        end_to_end_ms: median(end_to_end),
         passes,
     }
 }
@@ -210,11 +187,10 @@ fn measure_batch(sizes: &[usize], samples: usize, thread_counts: &[usize]) -> Ba
 
     let serial_driver = BatchCompiler::new(1);
     let serial_results = serial_driver.compile_batch(&jobs);
-    let serial_ms = median_ms(samples, || {
-        serial_driver.compile_batch(&jobs);
-    });
 
-    let sweep = thread_counts
+    // Warm every driver up once and check that its results agree with the
+    // serial ordering before any timing.
+    let drivers: Vec<(usize, BatchCompiler, usize)> = thread_counts
         .iter()
         .map(|&threads| {
             let driver = BatchCompiler::new(threads);
@@ -230,9 +206,33 @@ fn measure_batch(sizes: &[usize], samples: usize, thread_counts: &[usize]) -> Ba
                     "batch job {i} diverged between serial and {threads}-thread runs"
                 );
             }
-            let ms = median_ms(samples, || {
-                driver.compile_batch(&jobs);
-            });
+            (threads, driver, workers)
+        })
+        .collect();
+
+    // Interleaved timing: every round times the serial driver and then each
+    // sweep configuration, so slow host drift (thermal state, co-tenants)
+    // hits all of them equally instead of penalising whichever ran last.
+    // Per-configuration medians are taken across the rounds.
+    let mut serial_samples: Vec<f64> = Vec::with_capacity(samples);
+    let mut config_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); drivers.len()];
+    let time_one = |driver: &BatchCompiler| {
+        let t0 = Instant::now();
+        driver.compile_batch(&jobs);
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    for _ in 0..samples {
+        serial_samples.push(time_one(&serial_driver));
+        for ((_, driver, _), slot) in drivers.iter().zip(&mut config_samples) {
+            slot.push(time_one(driver));
+        }
+    }
+    let serial_ms = median(serial_samples);
+    let sweep = drivers
+        .iter()
+        .zip(config_samples)
+        .map(|(&(threads, _, workers), samples)| {
+            let ms = median(samples);
             eprintln!("batch sweep: requested {threads} threads -> {workers} workers, {ms:.3} ms");
             SweepPoint {
                 threads,

@@ -1,0 +1,423 @@
+//! Emits `BENCH_service.json`: the compile-as-a-service throughput/latency
+//! baseline.
+//!
+//! The bench builds a request *population* — every (device, workload,
+//! compiler) combination over the registered devices — and drives thousands
+//! of requests through one [`CompileService`], sampling the population from
+//! a zipf(s) popularity distribution so a hot head of repeated requests hits
+//! the content-addressed cache while the cold tail keeps compiling.  It
+//! records per-request wall-clock split by hit/miss (p50/p99), overall
+//! throughput, and the service's own counters, then verifies that every
+//! combination served from the cache is bit-identical to an independent cold
+//! compile.  Usage:
+//!
+//! ```text
+//! cargo run --release -p twoqan-bench --bin bench_service -- \
+//!     [--requests N] [--zipf S] [--seed SEED] [--out PATH]
+//! cargo run --release -p twoqan-bench --bin bench_service -- --smoke \
+//!     [--out PATH]
+//! cargo run --release -p twoqan-bench --bin bench_service -- --check PATH \
+//!     [--tolerance PCT]
+//! ```
+//!
+//! Defaults: 2000 requests, zipf exponent 1.1, seed 42, output to
+//! `BENCH_service.json` in the current directory.  `--smoke` is the CI mode:
+//! a small population and 120 requests, exiting non-zero if the cache never
+//! hits or a hit is not bit-identical.  `--check PATH` re-measures the
+//! cold-compile (miss) p50 over the population — best-of-two per combination
+//! on fresh caches, so transient load cannot fail the gate — and exits
+//! non-zero if it regressed more than `--tolerance` percent (default 50)
+//! against the committed baseline at PATH.  See `BENCHMARKS.md` for the
+//! output schema.
+
+use std::time::Instant;
+use twoqan_baselines::CompilerRegistry;
+use twoqan_circuit::Circuit;
+use twoqan_device::Device;
+use twoqan_ham::{nnn_heisenberg, nnn_ising, trotter_step};
+use twoqan_service::{bit_identical, CompileService, ServiceConfig};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One member of the request population.
+struct Combo {
+    compiler: &'static str,
+    device_idx: usize,
+    circuit_idx: usize,
+}
+
+/// The fixed request population: every registered compiler on every
+/// (device, workload) pair.  `smoke` shrinks it to one device and two
+/// workloads so the CI run stays fast.
+fn build_population(smoke: bool) -> (Vec<Device>, Vec<Circuit>, Vec<Combo>) {
+    // One small uniform device, one mid-size uniform device, and one with a
+    // heterogeneous calibration snapshot so the noise-aware portfolio
+    // (`2QAN-noise`) compiles something the uniform path would not.
+    let devices = if smoke {
+        vec![Device::aspen()]
+    } else {
+        vec![
+            Device::aspen(),
+            Device::montreal(),
+            Device::montreal().with_heterogeneous_calibration(7),
+        ]
+    };
+    let sizes: &[usize] = if smoke { &[6, 8] } else { &[8, 10, 12, 16] };
+    let circuits: Vec<Circuit> = sizes
+        .iter()
+        .flat_map(|&n| {
+            [
+                trotter_step(&nnn_ising(n, 1), 1.0),
+                trotter_step(&nnn_heisenberg(n, 2), 1.0),
+            ]
+        })
+        .collect();
+    let mut names: Vec<&'static str> = CompilerRegistry::NAMES.to_vec();
+    names.push("2QAN-noise");
+    let mut combos = Vec::new();
+    for device_idx in 0..devices.len() {
+        for circuit_idx in 0..circuits.len() {
+            for &compiler in &names {
+                combos.push(Combo {
+                    compiler,
+                    device_idx,
+                    circuit_idx,
+                });
+            }
+        }
+    }
+    (devices, circuits, combos)
+}
+
+/// Cumulative zipf(s) distribution over `n` ranks: rank `i` has weight
+/// `1 / (i + 1)^s`.  Sampling is a uniform draw + binary search.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += ((i + 1) as f64).powf(-s);
+        cdf.push(total);
+    }
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+fn sample_rank(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let u = rng.gen::<f64>();
+    cdf.partition_point(|&c| c <= u).min(cdf.len() - 1)
+}
+
+/// Percentile of a sample set by nearest-rank (sorted in place).
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
+struct RunNumbers {
+    requests: usize,
+    population: usize,
+    elapsed_s: f64,
+    hit_ms: Vec<f64>,
+    miss_ms: Vec<f64>,
+    verified: usize,
+    service: CompileService,
+}
+
+/// Drives `requests` zipf-sampled requests through one service, then
+/// verifies every combination that was served from the cache against an
+/// independent cold compile.
+fn run_service(requests: usize, zipf_s: f64, seed: u64, smoke: bool) -> RunNumbers {
+    let (devices, circuits, mut combos) = build_population(smoke);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Shuffle so the popular zipf head is not all one device or compiler.
+    combos.shuffle(&mut rng);
+    let cdf = zipf_cdf(combos.len(), zipf_s);
+
+    let service = CompileService::new(ServiceConfig::default());
+    let mut hit_ms = Vec::new();
+    let mut miss_ms = Vec::new();
+    let mut touched = vec![false; combos.len()];
+    let run_start = Instant::now();
+    for _ in 0..requests {
+        let rank = sample_rank(&cdf, &mut rng);
+        let combo = &combos[rank];
+        touched[rank] = true;
+        let response = service
+            .request(
+                combo.compiler,
+                &circuits[combo.circuit_idx],
+                &devices[combo.device_idx],
+            )
+            .expect("population workloads fit their devices");
+        if response.hit {
+            hit_ms.push(response.wall_ms);
+        } else {
+            miss_ms.push(response.wall_ms);
+        }
+    }
+    let elapsed_s = run_start.elapsed().as_secs_f64();
+
+    // Every combination that entered the cache must serve an artifact
+    // bit-identical to a cold compile outside the service.
+    let mut verified = 0usize;
+    for (rank, combo) in combos.iter().enumerate() {
+        if !touched[rank] {
+            continue;
+        }
+        let (circuit, device) = (&circuits[combo.circuit_idx], &devices[combo.device_idx]);
+        let response = service
+            .request(combo.compiler, circuit, device)
+            .expect("verification re-request");
+        if !response.hit {
+            continue; // Evicted or uncacheable; nothing cached to verify.
+        }
+        let cold = CompilerRegistry::by_name(combo.compiler)
+            .expect("population names are registered")
+            .compile(circuit, device)
+            .expect("cold verification compile");
+        assert!(
+            bit_identical(&response.output, &cold),
+            "{} on {} diverged from a cold compile",
+            combo.compiler,
+            device.name()
+        );
+        verified += 1;
+    }
+
+    RunNumbers {
+        requests,
+        population: combos.len(),
+        elapsed_s,
+        hit_ms,
+        miss_ms,
+        verified,
+        service,
+    }
+}
+
+fn write_json(numbers: &mut RunNumbers, zipf_s: f64, seed: u64, out: &str) {
+    let stats = numbers.service.stats();
+    let hit_p50 = percentile(&mut numbers.hit_ms, 50.0);
+    let hit_p99 = percentile(&mut numbers.hit_ms, 99.0);
+    let miss_p50 = percentile(&mut numbers.miss_ms, 50.0);
+    let miss_p99 = percentile(&mut numbers.miss_ms, 99.0);
+    let config = ServiceConfig::default();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"compile_service\",\n");
+    json.push_str("  \"unit\": \"ms (per-request wall clock)\",\n");
+    json.push_str(&format!("  \"requests\": {},\n", numbers.requests));
+    json.push_str(&format!("  \"population\": {},\n", numbers.population));
+    json.push_str(&format!("  \"zipf_s\": {zipf_s},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!(
+        "  \"cache\": {{\"capacity\": {}, \"shards\": {}}},\n",
+        config.capacity, config.shards
+    ));
+    json.push_str(&format!(
+        "  \"throughput_rps\": {:.1},\n",
+        numbers.requests as f64 / numbers.elapsed_s.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"hit\": {{\"count\": {}, \"rate\": {:.3}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}},\n",
+        numbers.hit_ms.len(),
+        numbers.hit_ms.len() as f64 / numbers.requests as f64,
+        hit_p50,
+        hit_p99
+    ));
+    json.push_str(&format!(
+        "  \"miss\": {{\"count\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}},\n",
+        numbers.miss_ms.len(),
+        miss_p50,
+        miss_p99
+    ));
+    json.push_str(&format!(
+        "  \"hit_speedup_p50\": {:.1},\n",
+        miss_p50 / hit_p50.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"verified_bit_identical\": {},\n",
+        numbers.verified
+    ));
+    json.push_str(&format!(
+        "  \"stats\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"uncacheable\": {}, \"errors\": {}}}\n",
+        stats.hits, stats.misses, stats.insertions, stats.evictions, stats.uncacheable, stats.errors
+    ));
+    json.push_str("}\n");
+    std::fs::write(out, &json).expect("writing the service baseline file");
+    println!("{json}");
+    println!("wrote {out}");
+}
+
+// ---------------------------------------------------------------------------
+// `--check`: the CI perf-regression guard on the cold (miss) path.
+// ---------------------------------------------------------------------------
+
+/// Pulls `p50_ms` off the `"miss"` line of a committed `BENCH_service.json`
+/// (one object per line, no JSON parser needed).
+fn committed_miss_p50(text: &str) -> Option<f64> {
+    let line = text.lines().find(|l| l.contains("\"miss\""))?;
+    let tail = line.split("\"p50_ms\": ").nth(1)?;
+    let number: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    number.parse().ok()
+}
+
+fn run_check(baseline_path: &str, tolerance_pct: f64) {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("--check: cannot read {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let committed = committed_miss_p50(&text).unwrap_or_else(|| {
+        eprintln!("--check: no \"miss\" entry with p50_ms in {baseline_path}");
+        std::process::exit(2);
+    });
+    let (devices, circuits, combos) = build_population(false);
+    // Two passes over the population on fresh caches (every request a miss);
+    // the per-combination *minimum* is the stable statistic — co-tenant load
+    // only ever adds time — and the gate compares its median.
+    let mut best = vec![f64::INFINITY; combos.len()];
+    for _ in 0..2 {
+        let service = CompileService::new(ServiceConfig::default());
+        for (slot, combo) in best.iter_mut().zip(&combos) {
+            let response = service
+                .request(
+                    combo.compiler,
+                    &circuits[combo.circuit_idx],
+                    &devices[combo.device_idx],
+                )
+                .expect("population workloads fit their devices");
+            assert!(!response.hit, "fresh caches cannot hit");
+            *slot = slot.min(response.wall_ms);
+        }
+    }
+    let measured = percentile(&mut best, 50.0);
+    let ratio = measured / committed;
+    println!(
+        "service miss p50: best-of-2 {measured:.3} ms vs committed {committed:.3} ms \
+         (x{ratio:.3}, tolerance +{tolerance_pct:.0}%)"
+    );
+    if ratio > 1.0 + tolerance_pct / 100.0 {
+        eprintln!("PERF REGRESSION: service cold-compile p50 exceeds the committed baseline");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut requests = 2000usize;
+    let mut zipf_s = 1.1f64;
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+    let mut smoke = false;
+    let mut check: Option<String> = None;
+    let mut tolerance_pct = 50.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => {
+                requests = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--requests needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--zipf" => {
+                zipf_s = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(s) if s > 0.0 => s,
+                    _ => {
+                        eprintln!("--zipf needs a positive exponent");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                seed = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--smoke" => {
+                smoke = true;
+            }
+            "--check" => {
+                check = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--check needs the committed baseline path");
+                    std::process::exit(2);
+                }));
+            }
+            "--tolerance" => {
+                tolerance_pct = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(p) if p > 0.0 => p,
+                    _ => {
+                        eprintln!("--tolerance needs a positive percentage");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                out = Some(args.next().expect("--out needs a path"));
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; supported: --requests N, --zipf S, --seed SEED, \
+                     --smoke, --check PATH, --tolerance PCT, --out PATH"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(baseline) = check {
+        run_check(&baseline, tolerance_pct);
+        return;
+    }
+    if smoke {
+        requests = 120;
+    }
+
+    let out = out.unwrap_or_else(|| "BENCH_service.json".into());
+    let mut numbers = run_service(requests, zipf_s, seed, smoke);
+    let stats = numbers.service.stats();
+    eprintln!(
+        "{} requests over a population of {}: {} hits / {} misses (rate {:.3}), \
+         {} combinations verified bit-identical",
+        numbers.requests,
+        numbers.population,
+        numbers.hit_ms.len(),
+        numbers.miss_ms.len(),
+        stats.hit_rate(),
+        numbers.verified
+    );
+    if numbers.hit_ms.is_empty() || numbers.miss_ms.is_empty() {
+        eprintln!("SERVICE CACHE FAILURE: the run must record both hits and misses");
+        std::process::exit(1);
+    }
+    if numbers.verified == 0 {
+        eprintln!("SERVICE CACHE FAILURE: no cached combination could be verified");
+        std::process::exit(1);
+    }
+    write_json(&mut numbers, zipf_s, seed, &out);
+    if !smoke {
+        // The acceptance bar for the committed baseline: a cache hit is at
+        // least an order of magnitude cheaper than a cold compile.
+        let hit_p50 = percentile(&mut numbers.hit_ms, 50.0);
+        let miss_p50 = percentile(&mut numbers.miss_ms, 50.0);
+        assert!(
+            miss_p50 >= 10.0 * hit_p50,
+            "hit p50 {hit_p50:.4} ms is not >=10x below miss p50 {miss_p50:.4} ms"
+        );
+    }
+}

@@ -87,13 +87,20 @@ impl BatchCompiler {
     }
 
     /// The worker count a batch of `jobs` jobs would use.
+    ///
+    /// Clamped to the machine's core count even for explicit requests:
+    /// compile work is CPU-bound, so oversubscribing cores only buys
+    /// context-switch churn (it is what made the committed 2-worker batch
+    /// sweep run *slower* than serial on a small machine).  Also bounded by
+    /// the job count — extra workers would have nothing to claim.
     pub fn resolved_threads(&self, jobs: usize) -> usize {
-        let hw = if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+        let cores = twoqan_pool::max_useful_workers();
+        let requested = if self.threads == 0 {
+            cores
         } else {
             self.threads
         };
-        hw.min(jobs).max(1)
+        requested.min(cores).min(jobs.max(1)).max(1)
     }
 
     /// Compiles every job, in parallel, returning one result per job in job
@@ -377,26 +384,36 @@ mod tests {
             .collect();
         let _census = CENSUS_LOCK.lock().unwrap();
         for threads in [1usize, 2, 4] {
+            let batch = BatchCompiler::new(threads);
+            // The resolved count is the *request* clamped to cores and jobs;
+            // the pool then spawns resolved − 1 threads (caller included).
+            let resolved = batch.resolved_threads(jobs.len());
             let before = twoqan_pool::spawned_thread_census();
-            let results = BatchCompiler::new(threads).compile_batch(&jobs);
+            let results = batch.compile_batch(&jobs);
             let spawned = twoqan_pool::spawned_thread_census() - before;
             assert_eq!(
                 spawned,
-                threads - 1,
-                "--threads {threads} must spawn exactly {} worker(s)",
-                threads - 1
+                resolved - 1,
+                "--threads {threads} resolves to {resolved} worker(s) and must spawn exactly {}",
+                resolved - 1
             );
             assert!(results.iter().all(Result::is_ok));
         }
     }
 
     #[test]
-    fn thread_resolution_is_bounded_by_jobs() {
+    fn thread_resolution_is_bounded_by_jobs_and_cores() {
+        let cores = twoqan_pool::max_useful_workers();
         let b = BatchCompiler::new(8);
-        assert_eq!(b.resolved_threads(3), 3);
-        assert_eq!(b.resolved_threads(100), 8);
+        assert_eq!(b.resolved_threads(3), 3.min(cores));
+        assert_eq!(b.resolved_threads(100), 8.min(cores));
         assert_eq!(BatchCompiler::new(1).resolved_threads(10), 1);
-        assert!(BatchCompiler::default().resolved_threads(64) >= 1);
+        // Explicit requests never oversubscribe the machine…
+        assert_eq!(b.resolved_threads(usize::MAX), 8.min(cores));
+        assert!(BatchCompiler::new(1024).resolved_threads(1024) <= cores);
+        // …and the default (0 = auto) resolves to at most one per core.
+        let auto = BatchCompiler::default().resolved_threads(64);
+        assert!((1..=cores.min(64)).contains(&auto));
         assert!(BatchCompiler::new(0).resolved_threads(0) >= 1);
         assert!(BatchCompiler::default().compile_batch(&[]).is_empty());
     }

@@ -313,7 +313,9 @@ impl TwoQanCompiler {
         ) {
             (0, _) | (_, Some(_)) => None,
             (n, None) => {
-                let pool = twoqan_pool::CompilePool::new(n);
+                // Clamp to the core count: oversubscribing CPU-bound solver
+                // restarts only adds scheduling churn.
+                let pool = twoqan_pool::CompilePool::new(n.min(twoqan_pool::max_useful_workers()));
                 Some((pool.install(), pool))
             }
         };
@@ -548,6 +550,17 @@ impl Compiler for TwoQanCompiler {
             basis: result.basis,
             report,
         })
+    }
+
+    fn cache_fingerprint(&self) -> u64 {
+        // Every config knob that can change the artifact is covered (seed,
+        // trials, strategies, cost model, budget).  `threads` only changes
+        // how the solver restarts are parallelised — results are documented
+        // bit-identical for every setting — so it is normalized out to keep
+        // differently-provisioned requests on the same cache line.
+        let mut config = self.config.clone();
+        config.threads = 0;
+        crate::hash::fnv1a_64(&format!("{}|{config:?}", Compiler::name(self)))
     }
 }
 

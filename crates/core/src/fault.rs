@@ -216,6 +216,14 @@ impl Compiler for ChaosCompiler {
         self.injector.before_stage("chaos-job")?;
         self.inner.compile(circuit, device)
     }
+
+    fn cache_fingerprint(&self) -> u64 {
+        // Chaos compiles are deliberately nondeterministic (the injector is
+        // stateful), so keep the fingerprint distinct from the wrapped
+        // compiler's: a content-addressed cache must never serve a chaos
+        // result for the real compiler or vice versa.
+        crate::hash::fnv1a_64(&format!("chaos|{:016x}", self.inner.cache_fingerprint()))
+    }
 }
 
 #[cfg(test)]

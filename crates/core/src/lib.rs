@@ -64,6 +64,7 @@ pub mod compiler;
 pub mod decompose;
 pub mod error;
 pub mod fault;
+pub mod hash;
 pub mod mapping;
 pub mod passes;
 pub mod pipeline;

@@ -474,6 +474,17 @@ pub trait Compiler: Send + Sync {
     /// Returns [`CompileError::TooManyQubits`] when the circuit does not fit
     /// on the device, and propagates pass failures.
     fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledOutput, CompileError>;
+
+    /// A stable fingerprint of this compiler's identity *and* configuration,
+    /// folded into compile-cache keys by `twoqan-service`.  Two compilers
+    /// with equal fingerprints must produce bit-identical output for the
+    /// same (circuit, device); a configurable compiler therefore must
+    /// override this to cover every output-affecting knob (seed, trial
+    /// count, strategy, …).  The default covers stateless compilers: a
+    /// stable hash of [`Compiler::name`] alone.
+    fn cache_fingerprint(&self) -> u64 {
+        crate::hash::fnv1a_64(self.name())
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,21 @@ pub enum DeviceError {
         /// Qubit count of the device topology.
         device: usize,
     },
+    /// A per-edge calibration update named a pair that is not a calibrated
+    /// edge of the target's topology.
+    UnknownEdge {
+        /// First endpoint of the requested pair.
+        a: usize,
+        /// Second endpoint of the requested pair.
+        b: usize,
+    },
+    /// A per-qubit calibration update named a qubit outside the target.
+    UnknownQubit {
+        /// The requested qubit index.
+        qubit: usize,
+        /// Qubit count of the target.
+        num_qubits: usize,
+    },
     /// A calibration figure is outside its physically sensible range
     /// (NaN/negative error rates, error rates above 1, negative or
     /// non-finite gate durations, non-positive coherence times, …).
@@ -53,6 +68,14 @@ impl fmt::Display for DeviceError {
                 f,
                 "target qubit count must match the device topology \
                  (target calibrates {target} qubits, topology has {device})"
+            ),
+            Self::UnknownEdge { a, b } => write!(
+                f,
+                "({a}, {b}) is not a calibrated edge of the target topology"
+            ),
+            Self::UnknownQubit { qubit, num_qubits } => write!(
+                f,
+                "qubit {qubit} is outside the target (which calibrates {num_qubits} qubits)"
             ),
             Self::InvalidCalibration {
                 field,

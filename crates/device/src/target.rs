@@ -231,6 +231,58 @@ impl Target {
         }
     }
 
+    /// Returns a copy of this target with the two-qubit error of edge
+    /// `(a, b)` replaced by `error` — one "drifted" calibration entry, the
+    /// building block for calibration-drift scenarios and for proving that
+    /// content-addressed compile caches key on the full snapshot (one
+    /// changed value must change the key).  The derived routing weights are
+    /// recomputed and the target is no longer considered uniform.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::UnknownEdge`] when `(a, b)` is not a calibrated edge;
+    /// the new value is range-checked through [`Target::validate`] rules.
+    pub fn with_two_qubit_error_on(
+        &self,
+        a: usize,
+        b: usize,
+        error: f64,
+    ) -> Result<Self, DeviceError> {
+        let i = self
+            .edge_index(a, b)
+            .ok_or(DeviceError::UnknownEdge { a, b })?;
+        check_error_rate(
+            &format!("two_qubit_error[{}-{}]", a.min(b), a.max(b)),
+            error,
+        )?;
+        let mut next = self.clone();
+        next.two_qubit_error[i] = error;
+        next.uniform = false;
+        next.normalized_edge_weight = Self::normalize_weights(&next.two_qubit_error, false);
+        Ok(next)
+    }
+
+    /// Returns a copy of this target with the read-out error of qubit `q`
+    /// replaced by `error` (see [`Target::with_two_qubit_error_on`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::UnknownQubit`] for an out-of-range qubit; the value is
+    /// range-checked.
+    pub fn with_readout_error_on(&self, q: usize, error: f64) -> Result<Self, DeviceError> {
+        if q >= self.num_qubits {
+            return Err(DeviceError::UnknownQubit {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            });
+        }
+        check_error_rate(&format!("readout_error[{q}]"), error)?;
+        let mut next = self.clone();
+        next.readout_error[q] = error;
+        next.uniform = false;
+        Ok(next)
+    }
+
     /// Checks every per-edge / per-qubit figure against its physical range
     /// (the same rules as [`Calibration::validate`], field names carrying
     /// the offending edge or qubit).  [`Device::try_with_target`]
@@ -552,6 +604,33 @@ mod tests {
             }
             other => panic!("expected InvalidCalibration, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn single_value_drift_produces_a_distinct_valid_target() {
+        let cal = Calibration::montreal_october_2021();
+        let t = Target::heterogeneous(&grid(), &cal, 5);
+        let (a, b) = t.edges()[1];
+        let drifted = t
+            .with_two_qubit_error_on(a, b, t.two_qubit_error(a, b) * 1.5)
+            .unwrap();
+        assert_ne!(t, drifted);
+        assert_eq!(drifted.validate(), Ok(()));
+        assert_eq!(drifted.two_qubit_error(a, b), t.two_qubit_error(a, b) * 1.5);
+        assert!(!drifted.is_uniform());
+        // Unknown edges/qubits and out-of-range values are rejected.
+        assert!(matches!(
+            t.with_two_qubit_error_on(0, 5, 0.01),
+            Err(crate::error::DeviceError::UnknownEdge { .. })
+        ));
+        assert!(t.with_two_qubit_error_on(a, b, 1.5).is_err());
+        assert!(matches!(
+            t.with_readout_error_on(9, 0.1),
+            Err(crate::error::DeviceError::UnknownQubit { .. })
+        ));
+        let r = t.with_readout_error_on(2, 0.33).unwrap();
+        assert_eq!(r.readout_error(2), 0.33);
+        assert_eq!(r.validate(), Ok(()));
     }
 
     #[test]

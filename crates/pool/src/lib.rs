@@ -25,12 +25,11 @@
 //! workers and any legacy scoped fallback — so tests can prove that a run at
 //! `--threads N` used exactly `N` workers with no nested spawning.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
 
 /// Global count of OS threads ever spawned for compile work (pool workers
 /// plus any legacy scoped-thread fallback).  Monotonic; read it before and
@@ -49,6 +48,16 @@ pub fn spawned_thread_census() -> usize {
 /// assert that no nested spawning happens while a pool is installed.
 pub fn census_add(n: usize) {
     SPAWNED_THREAD_CENSUS.fetch_add(n, Ordering::SeqCst);
+}
+
+/// The number of workers that can make concurrent progress on this machine.
+///
+/// Provisioning policies (`BatchCompiler`, the per-compile `threads` knob)
+/// clamp explicit thread requests to this: compile work is CPU-bound, so
+/// workers beyond the core count only add context-switch and condvar churn —
+/// the source of the sub-serial batch sweeps this clamp fixes.
+pub fn max_useful_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// A batch of `count` indexed work items sharing one type-erased entry point.
@@ -83,8 +92,11 @@ impl BatchShared {
         }
         // SAFETY: k < count was claimed exactly once, and `run_on` keeps
         // `ctx` alive until `pending` reaches zero (decremented below,
-        // strictly after the call returns).
+        // strictly after the call returns).  `run` cannot unwind (the entry
+        // point catches panics), so the depth counter always unwinds back.
+        BATCH_DEPTH.with(|d| d.set(d.get() + 1));
         unsafe { (self.run)(self.ctx, k) };
+        BATCH_DEPTH.with(|d| d.set(d.get() - 1));
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = self.done_lock.lock().expect("done lock poisoned");
             self.done_cv.notify_all();
@@ -104,6 +116,11 @@ struct Inner {
     shutdown: AtomicBool,
     /// Total worker count, including the submitting caller thread.
     workers: usize,
+    /// Dedicated workers currently parked on `queue_cv` with nothing to do.
+    /// Nested batches consult this before posting tickets: when the pool is
+    /// saturated there is nobody to help, so they run inline instead of
+    /// paying for queue traffic and result slots nobody will ever steal.
+    idle: AtomicUsize,
 }
 
 impl Inner {
@@ -134,6 +151,11 @@ thread_local! {
     /// worker threads at startup and for arbitrary threads via
     /// [`CompilePool::install`].
     static CURRENT: RefCell<Option<Arc<Inner>>> = const { RefCell::new(None) };
+
+    /// Nesting depth of batch items executing on the current thread.  Zero
+    /// on a fresh submitter; positive while inside `BatchShared::execute_one`
+    /// (i.e. when a submission is a *nested* batch from within another one).
+    static BATCH_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
 /// A fixed-size work-stealing pool for compile jobs and solver restarts.
@@ -157,6 +179,7 @@ impl CompilePool {
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             workers,
+            idle: AtomicUsize::new(0),
         });
         let spawned = workers - 1;
         census_add(spawned);
@@ -252,7 +275,10 @@ fn worker_loop(inner: Arc<Inner>) {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = inner.queue_cv.wait(queue).expect("pool queue poisoned");
+                inner.idle.fetch_add(1, Ordering::SeqCst);
+                let waited = inner.queue_cv.wait(queue);
+                inner.idle.fetch_sub(1, Ordering::SeqCst);
+                queue = waited.expect("pool queue poisoned");
             }
         };
         match ticket {
@@ -273,6 +299,34 @@ where
     // Serial fast path: a 1-worker pool, or a single-item batch, runs inline
     // with no queue traffic.  Identical results by construction.
     if inner.workers <= 1 || count == 1 {
+        return (0..count).map(f).collect();
+    }
+    // One ticket per helper that could usefully join in; each popped ticket
+    // drains the batch cooperatively, and stale tickets are harmless no-ops.
+    //
+    // A *top-level* submission posts a ticket for every other worker — they
+    // are either parked or about to be.  A *nested* submission (a batch item
+    // fanning out its solver restarts) caps tickets at the number of workers
+    // actually parked right now: when the pool is saturated with sibling
+    // items, posting tickets just adds queue and condvar traffic for batches
+    // the submitter will have fully drained itself anyway.
+    let nested = BATCH_DEPTH.with(Cell::get) > 0;
+    let tickets = if nested {
+        inner
+            .idle
+            .load(Ordering::SeqCst)
+            .min(inner.workers - 1)
+            .min(count - 1)
+    } else {
+        (inner.workers - 1).min(count - 1)
+    };
+    if tickets == 0 {
+        // Nobody can help: run inline with zero synchronization.  This is
+        // the common case for nested multi-start restarts on a saturated
+        // pool, and is bit-identical to the cooperative path.  (A panic in
+        // `f` propagates immediately here rather than after the batch
+        // settles; nested items are already inside a `catch_unwind` entry,
+        // so the observable behavior is unchanged.)
         return (0..count).map(f).collect();
     }
 
@@ -307,9 +361,6 @@ where
         done_cv: Condvar::new(),
     });
 
-    // One ticket per helper that could usefully join in; each popped ticket
-    // drains the batch cooperatively, and stale tickets are harmless no-ops.
-    let tickets = (inner.workers - 1).min(count - 1);
     inner.push_tickets(&batch, tickets);
 
     // The caller is a worker too: claim indices until none are left…
@@ -325,12 +376,14 @@ where
         if batch.pending.load(Ordering::Acquire) == 0 {
             break;
         }
-        // Timed wait: new stealable work arrives via the *queue* condvar, so
-        // poll briefly rather than blocking solely on batch completion.
-        let _ = batch
-            .done_cv
-            .wait_timeout(guard, Duration::from_micros(200))
-            .expect("done lock poisoned");
+        // Untimed wait until the last straggler signals `done_cv`.  This is
+        // deadlock-free: every claimed index is actively running on some
+        // thread, and no batch ever depends on its tickets being served (the
+        // submitter drains its own batch).  The previous 200 µs polling wait
+        // let the caller keep stealing work queued *after* it went to sleep,
+        // but on small batches the wakeup churn cost more than the stolen
+        // work was worth — it is what pushed the 2-worker sweep below 1.0×.
+        drop(batch.done_cv.wait(guard).expect("done lock poisoned"));
     }
 
     drop(batch);

@@ -1,0 +1,927 @@
+//! Compile-as-a-service: a caching front-end over the workspace compilers.
+//!
+//! The 2QAN pipeline is cheap per invocation (single-digit milliseconds at
+//! n = 80), so a long-running compilation service absorbing sustained mixed
+//! traffic is dominated by *repeat* requests: the same popular (workload,
+//! device, calibration) combinations arrive over and over, and re-running
+//! the QAP search for them is pure waste.  [`CompileService`] keys every
+//! request by a **content hash** of everything that determines the compiled
+//! artifact —
+//!
+//! * the canonicalized workload circuit (gate kinds, parameters, operands,
+//!   in order),
+//! * the device topology and native gate set,
+//! * the full per-edge/per-qubit calibration ([`Target`]) snapshot,
+//! * the compiler's configuration fingerprint
+//!   ([`Compiler::cache_fingerprint`]) —
+//!
+//! and serves hits from a sharded LRU cache of [`CompiledOutput`]s.  Every
+//! workspace compiler is deterministic for a fixed configuration, so a hit
+//! is bit-identical to a fresh compile (property-tested in
+//! `tests/service_properties.rs`); the only fields a cache hit cannot
+//! reproduce are the wall-clock *timing* instrumentation of the original
+//! run, which [`bit_identical`] therefore excludes from its comparison.
+//!
+//! Because the calibration snapshot is part of the key, cache invalidation
+//! under calibration drift is automatic: a device whose `Target` changed
+//! simply stops matching its old entries (which age out via LRU), and
+//! [`CompileService::invalidate_device`] drops them eagerly when a drift
+//! event is known.  Compiles that failed, or that were degraded below
+//! [`DegradationRung::Full`] by a deadline, are **never** cached: a later
+//! request with a healthier budget must get the chance to produce the
+//! full-quality artifact.
+
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use twoqan::hash::ContentHasher;
+use twoqan::pipeline::{CompiledOutput, Compiler, DegradationRung};
+use twoqan::{BatchCompiler, BatchJob, CompileError, CompilePool};
+use twoqan_baselines::CompilerRegistry;
+use twoqan_circuit::{Circuit, GateKind};
+use twoqan_device::{Device, Target, TwoQubitBasis};
+
+/// Configuration of a [`CompileService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Total cached outputs across all shards (divided evenly per shard).
+    pub capacity: usize,
+    /// Number of independently locked cache shards; more shards means less
+    /// lock contention between concurrent requests.
+    pub shards: usize,
+    /// Worker count of the service's long-lived compile pool (`0` = one per
+    /// core).  Provisioned **once** at construction — requests never pay
+    /// per-call pool spawn costs.
+    pub threads: usize,
+    /// Per-job retry budget for transient compile failures (see
+    /// [`BatchCompiler::with_retries`]).
+    pub retries: usize,
+}
+
+impl Default for ServiceConfig {
+    /// 1024 cached outputs over 8 shards, one worker per core, no retries.
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            shards: 8,
+            threads: 0,
+            retries: 0,
+        }
+    }
+}
+
+/// Why a service request could not be served.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The request named a compiler the service has not registered.
+    UnknownCompiler {
+        /// The requested compiler name.
+        name: String,
+    },
+    /// The compile itself failed (after any configured retries).
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownCompiler { name } => {
+                write!(
+                    f,
+                    "no compiler named '{name}' is registered with the service"
+                )
+            }
+            Self::Compile(e) => write!(f, "compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CompileError> for ServiceError {
+    fn from(e: CompileError) -> Self {
+        Self::Compile(e)
+    }
+}
+
+/// One request of a [`CompileService::request_batch`] call.
+#[derive(Clone, Copy)]
+pub struct ServiceRequest<'a> {
+    /// Registered compiler name (e.g. `"2QAN"`).
+    pub compiler: &'a str,
+    /// The workload circuit.
+    pub circuit: &'a Circuit,
+    /// The target device (topology + gate set + calibration snapshot).
+    pub device: &'a Device,
+}
+
+/// The service's answer to one request, with its per-request metrics.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// The compiled artifact (shared with the cache on a hit/insert).
+    pub output: Arc<CompiledOutput>,
+    /// Whether the artifact came from the cache.
+    pub hit: bool,
+    /// Whether this request inserted the artifact into the cache (misses
+    /// only; `false` when the result was uncacheable — failed requests
+    /// return an error instead, degraded ones return `cached: false`).
+    pub cached: bool,
+    /// The content-addressed cache key of the request.
+    pub key: u128,
+    /// Milliseconds between request arrival and compile start (hashing,
+    /// cache lookup and — in a batch — waiting for a pool worker).
+    pub queue_wait_ms: f64,
+    /// Compile wall-clock milliseconds (`0` on a hit).
+    pub compile_ms: f64,
+    /// Total request wall-clock milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ServiceResponse {
+    /// The degradation rung that produced the artifact (from the PR-6
+    /// graceful-degradation ladder).
+    pub fn rung(&self) -> DegradationRung {
+        self.output.report.rung
+    }
+}
+
+/// A point-in-time copy of the service's request counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Total requests served (including failed ones).
+    pub requests: u64,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that compiled.
+    pub misses: u64,
+    /// Artifacts inserted into the cache.
+    pub insertions: u64,
+    /// Artifacts evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Successful compiles *not* cached because a deadline degraded them
+    /// below [`DegradationRung::Full`].
+    pub uncacheable: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of requests answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    uncacheable: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Stats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Entry {
+    output: Arc<CompiledOutput>,
+    /// Monotonic use counter value at the last touch — exact LRU order.
+    last_used: u64,
+    /// Hash of the (device, target) snapshot the artifact was compiled
+    /// against, for eager [`CompileService::invalidate_device`].
+    device_fingerprint: u128,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u128, Entry>,
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u128) -> Option<Arc<CompiledOutput>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.output)
+        })
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// one first when the shard is at capacity.  The O(n) eviction scan is
+    /// deliberate: inserts only happen on misses, which already paid for a
+    /// full compile — thousands of times the scan's cost.
+    fn insert(
+        &mut self,
+        key: u128,
+        output: Arc<CompiledOutput>,
+        device_fingerprint: u128,
+        capacity: usize,
+    ) -> u64 {
+        let mut evicted = 0;
+        if !self.entries.contains_key(&key) {
+            while self.entries.len() >= capacity.max(1) {
+                let lru = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty shard has an LRU entry");
+                self.entries.remove(&lru);
+                evicted += 1;
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                output,
+                last_used: self.clock,
+                device_fingerprint,
+            },
+        );
+        evicted
+    }
+}
+
+/// A long-running compilation service with a content-addressed cache.
+///
+/// Construction registers the compilers and provisions one long-lived
+/// [`CompilePool`] (clamped to the core count); requests reuse both, so the
+/// per-request cost of a miss is exactly one compile, and of a hit one hash
+/// plus one shard lock.  The service is `Sync`: requests may be issued from
+/// any number of threads concurrently.
+pub struct CompileService {
+    compilers: Vec<Box<dyn Compiler>>,
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    batch: BatchCompiler,
+    pool: CompilePool,
+    stats: Stats,
+}
+
+impl CompileService {
+    /// A service over every registered workspace compiler
+    /// ([`CompilerRegistry::NAMES`] plus the calibration-aware
+    /// `"2QAN-noise"` variant).
+    pub fn new(config: ServiceConfig) -> Self {
+        let mut compilers = CompilerRegistry::all();
+        compilers.push(
+            CompilerRegistry::by_name("2QAN-noise")
+                .expect("the noise-aware 2QAN variant is constructible by name"),
+        );
+        Self::with_compilers(config, compilers)
+    }
+
+    /// A service over an explicit compiler set (names must be unique).
+    pub fn with_compilers(config: ServiceConfig, compilers: Vec<Box<dyn Compiler>>) -> Self {
+        let shards = config.shards.max(1);
+        let threads = if config.threads == 0 {
+            twoqan::pool::max_useful_workers()
+        } else {
+            config.threads.min(twoqan::pool::max_useful_workers())
+        };
+        Self {
+            compilers,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: config.capacity.max(1).div_ceil(shards),
+            batch: BatchCompiler::new(threads).with_retries(config.retries),
+            pool: CompilePool::new(threads),
+            stats: Stats::default(),
+        }
+    }
+
+    /// The registered compiler names, in registration order.
+    pub fn compiler_names(&self) -> Vec<&'static str> {
+        self.compilers.iter().map(|c| c.name()).collect()
+    }
+
+    /// Number of artifacts currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// Returns `true` when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of the request counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The content-addressed cache key the service would use for this
+    /// request, or `None` for an unregistered compiler name.
+    pub fn key_for(&self, compiler: &str, circuit: &Circuit, device: &Device) -> Option<u128> {
+        self.compilers
+            .iter()
+            .find(|c| c.name() == compiler)
+            .map(|c| cache_key(c.as_ref(), circuit, device))
+    }
+
+    /// Serves one request: a cache hit returns the stored artifact, a miss
+    /// compiles on the service pool and caches the result if it is a
+    /// full-quality success.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownCompiler`] for an unregistered name, and
+    /// [`ServiceError::Compile`] when the compile fails (failures are never
+    /// cached — a retry can succeed later).
+    pub fn request(
+        &self,
+        compiler: &str,
+        circuit: &Circuit,
+        device: &Device,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let arrival = Instant::now();
+        Stats::bump(&self.stats.requests);
+        let Some(chosen) = self.compilers.iter().find(|c| c.name() == compiler) else {
+            Stats::bump(&self.stats.errors);
+            return Err(ServiceError::UnknownCompiler {
+                name: compiler.to_string(),
+            });
+        };
+        let key = cache_key(chosen.as_ref(), circuit, device);
+        if let Some(output) = self.shard(key).touch(key) {
+            Stats::bump(&self.stats.hits);
+            let wall_ms = ms_since(arrival);
+            return Ok(ServiceResponse {
+                output,
+                hit: true,
+                cached: false,
+                key,
+                queue_wait_ms: wall_ms,
+                compile_ms: 0.0,
+                wall_ms,
+            });
+        }
+        Stats::bump(&self.stats.misses);
+        let queue_wait_ms = ms_since(arrival);
+        let compile_start = Instant::now();
+        // The service pool is installed for the compile so the solvers'
+        // multi-start restarts reuse the long-lived workers instead of
+        // provisioning per request.
+        let guard = self.pool.install();
+        let result = self
+            .batch
+            .compile_batch(&[BatchJob {
+                circuit,
+                device,
+                compiler: chosen.as_ref(),
+            }])
+            .pop()
+            .expect("one job in, one result out");
+        drop(guard);
+        let compile_ms = ms_since(compile_start);
+        let output = match result {
+            Ok(output) => Arc::new(output),
+            Err(e) => {
+                Stats::bump(&self.stats.errors);
+                return Err(e.into());
+            }
+        };
+        let cached = self.maybe_cache(key, &output, device);
+        Ok(ServiceResponse {
+            output,
+            hit: false,
+            cached,
+            key,
+            queue_wait_ms,
+            compile_ms,
+            wall_ms: ms_since(arrival),
+        })
+    }
+
+    /// Serves a batch of requests, fanning the misses out over the service
+    /// pool via [`BatchCompiler`]; responses keep the request order.
+    /// Per-response `queue_wait_ms` covers hashing, lookup and the wait for
+    /// a pool worker.
+    pub fn request_batch(
+        &self,
+        requests: &[ServiceRequest<'_>],
+    ) -> Vec<Result<ServiceResponse, ServiceError>> {
+        let arrival = Instant::now();
+        // Resolve every request first: hits and unknown names answer
+        // immediately, misses queue for the pool.
+        let mut responses: Vec<Option<Result<ServiceResponse, ServiceError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut pending: Vec<(usize, u128, &dyn Compiler)> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            Stats::bump(&self.stats.requests);
+            let Some(chosen) = self.compilers.iter().find(|c| c.name() == req.compiler) else {
+                Stats::bump(&self.stats.errors);
+                responses[i] = Some(Err(ServiceError::UnknownCompiler {
+                    name: req.compiler.to_string(),
+                }));
+                continue;
+            };
+            let key = cache_key(chosen.as_ref(), req.circuit, req.device);
+            if let Some(output) = self.shard(key).touch(key) {
+                Stats::bump(&self.stats.hits);
+                let wall_ms = ms_since(arrival);
+                responses[i] = Some(Ok(ServiceResponse {
+                    output,
+                    hit: true,
+                    cached: false,
+                    key,
+                    queue_wait_ms: wall_ms,
+                    compile_ms: 0.0,
+                    wall_ms,
+                }));
+            } else {
+                Stats::bump(&self.stats.misses);
+                pending.push((i, key, chosen.as_ref()));
+            }
+        }
+        if !pending.is_empty() {
+            let probes: Vec<ProbedCompiler<'_>> = pending
+                .iter()
+                .map(|&(_, _, compiler)| ProbedCompiler::new(compiler, arrival))
+                .collect();
+            let jobs: Vec<BatchJob<'_>> = pending
+                .iter()
+                .zip(&probes)
+                .map(|(&(i, _, _), probe)| BatchJob {
+                    circuit: requests[i].circuit,
+                    device: requests[i].device,
+                    compiler: probe,
+                })
+                .collect();
+            let guard = self.pool.install();
+            let results = self.batch.compile_batch(&jobs);
+            drop(guard);
+            for (((i, key, _), probe), result) in pending.into_iter().zip(&probes).zip(results) {
+                let entry = match result {
+                    Ok(output) => {
+                        let output = Arc::new(output);
+                        let cached = self.maybe_cache(key, &output, requests[i].device);
+                        Ok(ServiceResponse {
+                            output,
+                            hit: false,
+                            cached,
+                            key,
+                            queue_wait_ms: probe.started_ms(),
+                            compile_ms: probe.compile_ms(),
+                            wall_ms: ms_since(arrival),
+                        })
+                    }
+                    Err(e) => {
+                        Stats::bump(&self.stats.errors);
+                        Err(e.into())
+                    }
+                };
+                responses[i] = Some(entry);
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every request index is answered"))
+            .collect()
+    }
+
+    /// Eagerly drops every cached artifact compiled against this device's
+    /// *current* (topology, gate set, calibration snapshot) — the explicit
+    /// invalidation hook for calibration-drift events.  Returns the number
+    /// of dropped entries.  (Entries for a *previous* snapshot stop being
+    /// reachable as soon as the device drifts — their keys no longer match —
+    /// and age out via LRU.)
+    pub fn invalidate_device(&self, device: &Device) -> usize {
+        let fingerprint = device_fingerprint(device);
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            let before = shard.entries.len();
+            shard
+                .entries
+                .retain(|_, e| e.device_fingerprint != fingerprint);
+            dropped += before - shard.entries.len();
+        }
+        dropped
+    }
+
+    /// Drops every cached artifact.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").entries.clear();
+        }
+    }
+
+    fn shard(&self, key: u128) -> std::sync::MutexGuard<'_, Shard> {
+        // Shard by the top bits: the low bits pick the slot inside the
+        // shard's hash map, so both selections stay independent.
+        let index = (key >> 96) as usize % self.shards.len();
+        self.shards[index].lock().expect("cache shard poisoned")
+    }
+
+    /// Caches a successful compile unless a deadline degraded it: only
+    /// [`DegradationRung::Full`] artifacts may be served as the canonical
+    /// result for their key.
+    fn maybe_cache(&self, key: u128, output: &Arc<CompiledOutput>, device: &Device) -> bool {
+        if output.report.rung != DegradationRung::Full {
+            Stats::bump(&self.stats.uncacheable);
+            return false;
+        }
+        let evicted = self.shard(key).insert(
+            key,
+            Arc::clone(output),
+            device_fingerprint(device),
+            self.shard_capacity,
+        );
+        Stats::bump(&self.stats.insertions);
+        self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+        true
+    }
+}
+
+/// Delegates to a wrapped compiler while recording when the compile started
+/// (relative to batch submission) and how long it ran — the queue-wait and
+/// compile-time probes of [`CompileService::request_batch`].
+struct ProbedCompiler<'a> {
+    inner: &'a dyn Compiler,
+    submitted: Instant,
+    started_ms: AtomicU64,
+    compile_ms: AtomicU64,
+}
+
+impl<'a> ProbedCompiler<'a> {
+    fn new(inner: &'a dyn Compiler, submitted: Instant) -> Self {
+        Self {
+            inner,
+            submitted,
+            started_ms: AtomicU64::new(0f64.to_bits()),
+            compile_ms: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn started_ms(&self) -> f64 {
+        f64::from_bits(self.started_ms.load(Ordering::Relaxed))
+    }
+
+    fn compile_ms(&self) -> f64 {
+        f64::from_bits(self.compile_ms.load(Ordering::Relaxed))
+    }
+}
+
+impl Compiler for ProbedCompiler<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn order_respecting(&self) -> bool {
+        self.inner.order_respecting()
+    }
+
+    fn constrains_connectivity(&self) -> bool {
+        self.inner.constrains_connectivity()
+    }
+
+    fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledOutput, CompileError> {
+        self.started_ms
+            .store(ms_since(self.submitted).to_bits(), Ordering::Relaxed);
+        let start = Instant::now();
+        let result = self.inner.compile(circuit, device);
+        self.compile_ms
+            .store(ms_since(start).to_bits(), Ordering::Relaxed);
+        result
+    }
+
+    fn cache_fingerprint(&self) -> u64 {
+        self.inner.cache_fingerprint()
+    }
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// The content-addressed cache key of a (compiler, circuit, device)
+/// request: a 128-bit stable hash of the canonicalized circuit, the device
+/// topology and gate set, the full calibration snapshot and the compiler's
+/// configuration fingerprint.
+pub fn cache_key(compiler: &dyn Compiler, circuit: &Circuit, device: &Device) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write_u64(compiler.cache_fingerprint());
+    hash_circuit(&mut h, circuit);
+    hash_device(&mut h, device);
+    h.finish()
+}
+
+/// Hash of a device's (topology, gate set, calibration snapshot) — what a
+/// cached artifact was compiled *against*, independent of the workload.
+fn device_fingerprint(device: &Device) -> u128 {
+    let mut h = ContentHasher::new();
+    hash_device(&mut h, device);
+    h.finish()
+}
+
+fn hash_circuit(h: &mut ContentHasher, circuit: &Circuit) {
+    h.write_usize(circuit.num_qubits());
+    h.write_usize(circuit.gates().len());
+    for gate in circuit.gates() {
+        hash_gate(h, gate.kind);
+        h.write_usize(gate.qubit0());
+        if gate.is_two_qubit() {
+            h.write_usize(gate.qubit1());
+        }
+    }
+}
+
+/// One stable byte tag per gate kind plus its exact parameter bits.  The
+/// tags are part of the cache-key format: renumbering them invalidates
+/// every key (which is safe — at worst one cold compile per entry).
+fn hash_gate(h: &mut ContentHasher, kind: GateKind) {
+    match kind {
+        GateKind::Rx(t) => {
+            h.write_u8(0);
+            h.write_f64(t);
+        }
+        GateKind::Ry(t) => {
+            h.write_u8(1);
+            h.write_f64(t);
+        }
+        GateKind::Rz(t) => {
+            h.write_u8(2);
+            h.write_f64(t);
+        }
+        GateKind::H => h.write_u8(3),
+        GateKind::X => h.write_u8(4),
+        GateKind::Y => h.write_u8(5),
+        GateKind::Z => h.write_u8(6),
+        GateKind::U3(t, p, l) => {
+            h.write_u8(7);
+            h.write_f64(t);
+            h.write_f64(p);
+            h.write_f64(l);
+        }
+        GateKind::Cnot => h.write_u8(8),
+        GateKind::Cz => h.write_u8(9),
+        GateKind::Swap => h.write_u8(10),
+        GateKind::ISwap => h.write_u8(11),
+        GateKind::Syc => h.write_u8(12),
+        GateKind::Canonical { xx, yy, zz } => {
+            h.write_u8(13);
+            h.write_f64(xx);
+            h.write_f64(yy);
+            h.write_f64(zz);
+        }
+        GateKind::DressedSwap { xx, yy, zz } => {
+            h.write_u8(14);
+            h.write_f64(xx);
+            h.write_f64(yy);
+            h.write_f64(zz);
+        }
+    }
+}
+
+fn basis_tag(basis: TwoQubitBasis) -> u8 {
+    match basis {
+        TwoQubitBasis::Cnot => 0,
+        TwoQubitBasis::Cz => 1,
+        TwoQubitBasis::Syc => 2,
+        TwoQubitBasis::ISwap => 3,
+    }
+}
+
+fn hash_device(h: &mut ContentHasher, device: &Device) {
+    // Topology: qubit count plus the canonical sorted edge list.  The
+    // display name is deliberately excluded — two identically shaped and
+    // calibrated devices compile identically, so they share cache lines.
+    h.write_usize(device.num_qubits());
+    let mut edges: Vec<(usize, usize)> = device
+        .topology()
+        .edges()
+        .into_iter()
+        .map(|(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    h.write_usize(edges.len());
+    for (a, b) in edges {
+        h.write_usize(a);
+        h.write_usize(b);
+    }
+    // Native gate set, in declared order (the first basis is the default
+    // decomposition target, so order matters).
+    let bases = &device.gate_set().bases;
+    h.write_usize(bases.len());
+    for &basis in bases {
+        h.write_u8(basis_tag(basis));
+    }
+    hash_target(h, device.target());
+}
+
+/// Absorbs the complete per-edge / per-qubit calibration snapshot: any
+/// single drifted value — one edge error, one readout figure — changes the
+/// digest and therefore the cache key.
+fn hash_target(h: &mut ContentHasher, target: &Target) {
+    let edges = target.edges();
+    h.write_usize(edges.len());
+    for &(a, b) in edges {
+        h.write_usize(a);
+        h.write_usize(b);
+        h.write_f64(target.two_qubit_error(a, b));
+        h.write_f64(target.two_qubit_duration_ns(a, b));
+    }
+    let n = target.num_qubits();
+    h.write_usize(n);
+    for q in 0..n {
+        h.write_f64(target.single_qubit_error(q));
+        h.write_f64(target.single_qubit_duration_ns(q));
+        h.write_f64(target.readout_error(q));
+        h.write_f64(target.t1_us(q));
+        h.write_f64(target.t2_us(q));
+    }
+    let avg = target.average();
+    h.write_f64_slice(&[
+        avg.two_qubit_error,
+        avg.two_qubit_gate_ns,
+        avg.single_qubit_error,
+        avg.single_qubit_gate_ns,
+        avg.readout_error,
+        avg.t1_us,
+        avg.t2_us,
+    ]);
+    h.write_u8(target.is_uniform() as u8);
+}
+
+/// Compares two compiled artifacts for bit-identity on everything the
+/// compiler *decides*: hardware circuit, metrics, basis, placements,
+/// compiler name, trial count, degradation rung, deadline and per-pass
+/// gate/depth accounting.  The wall-clock *timing* instrumentation
+/// (`wall_ms`, `total_ms`, `budget_consumed_ms`) is excluded — it measures
+/// the run, not the artifact, and legitimately differs between a cold
+/// compile and the compile that populated the cache.
+pub fn bit_identical(a: &CompiledOutput, b: &CompiledOutput) -> bool {
+    a.compiler == b.compiler
+        && a.hardware_circuit == b.hardware_circuit
+        && a.metrics == b.metrics
+        && a.basis == b.basis
+        && a.initial_placement == b.initial_placement
+        && a.final_placement == b.final_placement
+        && a.report.trials == b.report.trials
+        && a.report.rung == b.report.rung
+        && a.report.deadline_ms == b.report.deadline_ms
+        && a.report.passes.len() == b.report.passes.len()
+        && a.report.passes.iter().zip(&b.report.passes).all(|(x, y)| {
+            x.name == y.name
+                && x.two_qubit_gates_after == y.two_qubit_gates_after
+                && x.depth_after == y.depth_after
+                && x.gate_delta == y.gate_delta
+                && x.depth_delta == y.depth_delta
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoqan_ham::{nnn_ising, trotter_step};
+
+    fn service() -> CompileService {
+        CompileService::new(ServiceConfig {
+            capacity: 64,
+            shards: 4,
+            threads: 1,
+            retries: 0,
+        })
+    }
+
+    #[test]
+    fn misses_then_hits_with_shared_storage() {
+        let service = service();
+        let circuit = trotter_step(&nnn_ising(8, 1), 1.0);
+        let device = Device::montreal();
+        let miss = service.request("2QAN", &circuit, &device).unwrap();
+        assert!(!miss.hit);
+        assert!(miss.cached);
+        assert!(miss.compile_ms > 0.0);
+        let hit = service.request("2QAN", &circuit, &device).unwrap();
+        assert!(hit.hit);
+        assert_eq!(hit.key, miss.key);
+        assert_eq!(hit.compile_ms, 0.0);
+        assert!(Arc::ptr_eq(&hit.output, &miss.output) || bit_identical(&hit.output, &miss.output));
+        let stats = service.stats();
+        assert_eq!((stats.requests, stats.hits, stats.misses), (2, 1, 1));
+        assert_eq!(service.len(), 1);
+    }
+
+    #[test]
+    fn unknown_compilers_are_typed_errors() {
+        let service = service();
+        let circuit = trotter_step(&nnn_ising(6, 1), 1.0);
+        let device = Device::montreal();
+        let err = service.request("not-a-compiler", &circuit, &device);
+        assert!(matches!(err, Err(ServiceError::UnknownCompiler { .. })));
+        assert_eq!(service.stats().errors, 1);
+    }
+
+    #[test]
+    fn failed_compiles_propagate_and_are_not_cached() {
+        let service = service();
+        let too_big = trotter_step(&nnn_ising(40, 1), 1.0);
+        let device = Device::montreal(); // 27 qubits
+        let err = service.request("2QAN", &too_big, &device);
+        assert!(matches!(
+            err,
+            Err(ServiceError::Compile(CompileError::TooManyQubits { .. }))
+        ));
+        assert!(service.is_empty());
+        // The failure is not sticky: the error path never poisons the key.
+        let err2 = service.request("2QAN", &too_big, &device);
+        assert!(err2.is_err());
+        assert_eq!(service.stats().misses, 2);
+    }
+
+    #[test]
+    fn request_batch_keeps_order_and_mixes_hits_and_misses() {
+        let service = service();
+        let a = trotter_step(&nnn_ising(7, 1), 1.0);
+        let b = trotter_step(&nnn_ising(8, 2), 1.0);
+        let device = Device::montreal();
+        // Warm `a` only.
+        service.request("2QAN", &a, &device).unwrap();
+        let responses = service.request_batch(&[
+            ServiceRequest {
+                compiler: "2QAN",
+                circuit: &a,
+                device: &device,
+            },
+            ServiceRequest {
+                compiler: "nope",
+                circuit: &a,
+                device: &device,
+            },
+            ServiceRequest {
+                compiler: "2QAN",
+                circuit: &b,
+                device: &device,
+            },
+        ]);
+        assert!(responses[0].as_ref().unwrap().hit);
+        assert!(matches!(
+            responses[1],
+            Err(ServiceError::UnknownCompiler { .. })
+        ));
+        let miss = responses[2].as_ref().unwrap();
+        assert!(!miss.hit && miss.cached);
+        assert!(miss.compile_ms > 0.0);
+        assert!(miss.queue_wait_ms >= 0.0);
+    }
+
+    #[test]
+    fn device_invalidation_drops_only_that_snapshot() {
+        let service = service();
+        let circuit = trotter_step(&nnn_ising(8, 1), 1.0);
+        let montreal = Device::montreal();
+        let aspen = Device::aspen();
+        service.request("2QAN", &circuit, &montreal).unwrap();
+        service.request("2QAN", &circuit, &aspen).unwrap();
+        assert_eq!(service.len(), 2);
+        assert_eq!(service.invalidate_device(&montreal), 1);
+        assert_eq!(service.len(), 1);
+        // The aspen artifact is still served from cache.
+        assert!(service.request("2QAN", &circuit, &aspen).unwrap().hit);
+        assert!(!service.request("2QAN", &circuit, &montreal).unwrap().hit);
+    }
+
+    #[test]
+    fn key_for_matches_the_served_key_and_rejects_unknown_names() {
+        let service = service();
+        let circuit = trotter_step(&nnn_ising(8, 1), 1.0);
+        let device = Device::montreal();
+        let key = service.key_for("2QAN", &circuit, &device).unwrap();
+        assert_eq!(service.request("2QAN", &circuit, &device).unwrap().key, key);
+        assert!(service.key_for("nope", &circuit, &device).is_none());
+    }
+}
