@@ -9,13 +9,16 @@
 //! records per-request wall-clock split by hit/miss (p50/p99), overall
 //! throughput, and the service's own counters, then verifies that every
 //! combination served from the cache is bit-identical to an independent cold
+//! compile.  `--clients N` adds the concurrency section: a contended phase
+//! (N threads of overlapping zipf streams against one service) and a
+//! barrier-started same-key storm that must coalesce onto exactly one
 //! compile.  Usage:
 //!
 //! ```text
 //! cargo run --release -p twoqan-bench --bin bench_service -- \
-//!     [--requests N] [--zipf S] [--seed SEED] [--out PATH]
+//!     [--requests N] [--zipf S] [--seed SEED] [--clients N] [--out PATH]
 //! cargo run --release -p twoqan-bench --bin bench_service -- --smoke \
-//!     [--out PATH]
+//!     [--clients N] [--out PATH]
 //! cargo run --release -p twoqan-bench --bin bench_service -- --check PATH \
 //!     [--tolerance PCT]
 //! ```
@@ -23,19 +26,24 @@
 //! Defaults: 2000 requests, zipf exponent 1.1, seed 42, output to
 //! `BENCH_service.json` in the current directory.  `--smoke` is the CI mode:
 //! a small population and 120 requests, exiting non-zero if the cache never
-//! hits or a hit is not bit-identical.  `--check PATH` re-measures the
+//! hits, a hit is not bit-identical, or (with `--clients`) the same-key
+//! storm performs more than one compile.  `--check PATH` re-measures the
 //! cold-compile (miss) p50 over the population — best-of-two per combination
 //! on fresh caches, so transient load cannot fail the gate — and exits
 //! non-zero if it regressed more than `--tolerance` percent (default 50)
-//! against the committed baseline at PATH.  See `BENCHMARKS.md` for the
-//! output schema.
+//! against the committed baseline at PATH; when the baseline carries a
+//! `"contended"` entry it also re-measures the 4-client contended p99
+//! (best-of-two runs) against the same tolerance.  See `BENCHMARKS.md` for
+//! the output schema.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
 use std::time::Instant;
 use twoqan_baselines::CompilerRegistry;
 use twoqan_circuit::Circuit;
 use twoqan_device::Device;
 use twoqan_ham::{nnn_heisenberg, nnn_ising, trotter_step};
-use twoqan_service::{bit_identical, CompileService, ServiceConfig};
+use twoqan_service::{bit_identical, CompileService, ServiceConfig, StatsSnapshot};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -126,7 +134,10 @@ struct RunNumbers {
     hit_ms: Vec<f64>,
     miss_ms: Vec<f64>,
     verified: usize,
-    service: CompileService,
+    /// Snapshot taken *before* the bit-identity verification pass, so the
+    /// reported counters line up with the measured run (`stats.hits`
+    /// equals `hit.count`) instead of absorbing the verifier's re-requests.
+    stats: StatsSnapshot,
 }
 
 /// Drives `requests` zipf-sampled requests through one service, then
@@ -162,9 +173,11 @@ fn run_service(requests: usize, zipf_s: f64, seed: u64, smoke: bool) -> RunNumbe
         }
     }
     let elapsed_s = run_start.elapsed().as_secs_f64();
+    let stats = service.stats();
 
     // Every combination that entered the cache must serve an artifact
-    // bit-identical to a cold compile outside the service.
+    // bit-identical to a cold compile outside the service.  This pass runs
+    // after the stats snapshot: its re-requests are bookkeeping, not load.
     let mut verified = 0usize;
     for (rank, combo) in combos.iter().enumerate() {
         if !touched[rank] {
@@ -197,12 +210,238 @@ fn run_service(requests: usize, zipf_s: f64, seed: u64, smoke: bool) -> RunNumbe
         hit_ms,
         miss_ms,
         verified,
-        service,
+        stats,
     }
 }
 
-fn write_json(numbers: &mut RunNumbers, zipf_s: f64, seed: u64, out: &str) {
-    let stats = numbers.service.stats();
+// ---------------------------------------------------------------------------
+// `--clients N`: the concurrency section.
+// ---------------------------------------------------------------------------
+
+struct ClientNumbers {
+    clients: usize,
+    requests: usize,
+    elapsed_s: f64,
+    single_requests: usize,
+    single_elapsed_s: f64,
+    contended_ms: Vec<f64>,
+    per_client_rps: Vec<f64>,
+    coalesced: u64,
+    rejected: u64,
+    storm_requests: usize,
+    storm_compiles: u64,
+    storm_coalesced: u64,
+    host_cores: usize,
+}
+
+/// Drives one client's zipf stream against a shared service, returning its
+/// per-request wall times and the client's own elapsed seconds.
+fn drive_zipf_stream(
+    service: &CompileService,
+    devices: &[Device],
+    circuits: &[Circuit],
+    combos: &[Combo],
+    cdf: &[f64],
+    requests: usize,
+    seed: u64,
+) -> (Vec<f64>, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wall_ms = Vec::with_capacity(requests);
+    let start = Instant::now();
+    for _ in 0..requests {
+        let combo = &combos[sample_rank(cdf, &mut rng)];
+        let response = service
+            .request(
+                combo.compiler,
+                &circuits[combo.circuit_idx],
+                &devices[combo.device_idx],
+            )
+            .expect("population workloads fit their devices");
+        wall_ms.push(response.wall_ms);
+    }
+    (wall_ms, start.elapsed().as_secs_f64())
+}
+
+/// The N-thread contended phase on a fresh service: every client replays an
+/// overlapping zipf stream, so hot keys race and coalesce.  Returns the
+/// merged per-request wall times, per-client elapsed seconds, the phase
+/// elapsed, and the service's counters.
+fn run_contended(
+    clients: usize,
+    requests: usize,
+    zipf_s: f64,
+    seed: u64,
+    smoke: bool,
+) -> (Vec<f64>, Vec<f64>, f64, StatsSnapshot) {
+    let (devices, circuits, mut combos) = build_population(smoke);
+    let mut rng = StdRng::seed_from_u64(seed);
+    combos.shuffle(&mut rng);
+    let cdf = zipf_cdf(combos.len(), zipf_s);
+    let per_client = (requests / clients).max(1);
+
+    let service = CompileService::new(ServiceConfig::default());
+    let barrier = Barrier::new(clients);
+    let mut merged = Vec::with_capacity(per_client * clients);
+    let mut client_elapsed = Vec::with_capacity(clients);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let (service, devices, circuits, combos, cdf, barrier) =
+                    (&service, &devices, &circuits, &combos, &cdf, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    drive_zipf_stream(
+                        service,
+                        devices,
+                        circuits,
+                        combos,
+                        cdf,
+                        per_client,
+                        seed.wrapping_add(7919 * (client as u64 + 1)),
+                    )
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (wall_ms, elapsed) = handle.join().expect("contended client panicked");
+            merged.extend(wall_ms);
+            client_elapsed.push(elapsed);
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    (merged, client_elapsed, elapsed_s, service.stats())
+}
+
+/// Barrier-started same-key storm on a fresh service: every thread hammers
+/// one key at once.  Singleflight must collapse the whole storm onto exactly
+/// one compile (`stats.misses == 1`); everything else is a hit or a
+/// coalesced follower.
+fn run_storm(clients: usize, requests: usize, smoke: bool) -> (usize, StatsSnapshot) {
+    let (devices, circuits, combos) = build_population(smoke);
+    let combo = &combos[0];
+    let per_client = (requests / clients).max(1);
+    let service = CompileService::new(ServiceConfig::default());
+    let barrier = Barrier::new(clients);
+    let failures = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let (service, devices, circuits, barrier, failures) =
+                (&service, &devices, &circuits, &barrier, &failures);
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..per_client {
+                    let response = service
+                        .request(
+                            combo.compiler,
+                            &circuits[combo.circuit_idx],
+                            &devices[combo.device_idx],
+                        )
+                        .expect("storm workload fits its device");
+                    if !(response.hit || response.coalesced || response.cached) {
+                        failures.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        failures.load(Ordering::SeqCst),
+        0,
+        "storm responses must be the leader's, a coalesced copy, or a hit"
+    );
+    (per_client * clients, service.stats())
+}
+
+fn run_clients(
+    clients: usize,
+    requests: usize,
+    zipf_s: f64,
+    seed: u64,
+    smoke: bool,
+) -> ClientNumbers {
+    // Single-client baseline on a fresh service: the denominator for the
+    // scaling ratio, measured with the same stream shape.
+    let (contended_single, _, single_elapsed_s, _) =
+        run_contended(1, requests, zipf_s, seed, smoke);
+    let single_requests = contended_single.len();
+
+    let (contended_ms, client_elapsed, elapsed_s, stats) =
+        run_contended(clients, requests, zipf_s, seed, smoke);
+    let per_client = contended_ms.len() / clients;
+    let per_client_rps = client_elapsed
+        .iter()
+        .map(|&s| per_client as f64 / s.max(1e-9))
+        .collect();
+
+    let storm_requests = if smoke { 400 } else { 2000 };
+    let (storm_total, storm_stats) = run_storm(clients, storm_requests, smoke);
+
+    ClientNumbers {
+        clients,
+        requests: contended_ms.len(),
+        elapsed_s,
+        single_requests,
+        single_elapsed_s,
+        contended_ms,
+        per_client_rps,
+        coalesced: stats.coalesced,
+        rejected: stats.rejected,
+        storm_requests: storm_total,
+        storm_compiles: storm_stats.misses,
+        storm_coalesced: storm_stats.coalesced,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+fn clients_json(numbers: &mut ClientNumbers) -> String {
+    let throughput = numbers.requests as f64 / numbers.elapsed_s.max(1e-9);
+    let single = numbers.single_requests as f64 / numbers.single_elapsed_s.max(1e-9);
+    let p50 = percentile(&mut numbers.contended_ms, 50.0);
+    let p99 = percentile(&mut numbers.contended_ms, 99.0);
+    let per_client: Vec<String> = numbers
+        .per_client_rps
+        .iter()
+        .map(|rps| format!("{rps:.1}"))
+        .collect();
+    let mut json = String::new();
+    json.push_str("  \"clients\": {\n");
+    json.push_str(&format!("    \"count\": {},\n", numbers.clients));
+    json.push_str(&format!("    \"requests\": {},\n", numbers.requests));
+    json.push_str(&format!("    \"throughput_rps\": {throughput:.1},\n"));
+    json.push_str(&format!(
+        "    \"single_client_throughput_rps\": {single:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"scaling_vs_single\": {:.3},\n",
+        throughput / single.max(1e-9)
+    ));
+    json.push_str(&format!("    \"host_cores\": {},\n", numbers.host_cores));
+    json.push_str(&format!(
+        "    \"contended\": {{\"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}}},\n"
+    ));
+    json.push_str(&format!("    \"coalesced\": {},\n", numbers.coalesced));
+    json.push_str(&format!("    \"rejected\": {},\n", numbers.rejected));
+    json.push_str(&format!(
+        "    \"per_client_rps\": [{}],\n",
+        per_client.join(", ")
+    ));
+    json.push_str(&format!(
+        "    \"storm\": {{\"requests\": {}, \"compiles\": {}, \"coalesced\": {}}}\n",
+        numbers.storm_requests, numbers.storm_compiles, numbers.storm_coalesced
+    ));
+    json.push_str("  },\n");
+    json
+}
+
+fn write_json(
+    numbers: &mut RunNumbers,
+    clients: Option<&mut ClientNumbers>,
+    zipf_s: f64,
+    seed: u64,
+    out: &str,
+) {
+    let stats = &numbers.stats;
     let hit_p50 = percentile(&mut numbers.hit_ms, 50.0);
     let hit_p99 = percentile(&mut numbers.hit_ms, 99.0);
     let miss_p50 = percentile(&mut numbers.miss_ms, 50.0);
@@ -245,9 +484,19 @@ fn write_json(numbers: &mut RunNumbers, zipf_s: f64, seed: u64, out: &str) {
         "  \"verified_bit_identical\": {},\n",
         numbers.verified
     ));
+    if let Some(clients) = clients {
+        json.push_str(&clients_json(clients));
+    }
     json.push_str(&format!(
-        "  \"stats\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \"uncacheable\": {}, \"errors\": {}}}\n",
-        stats.hits, stats.misses, stats.insertions, stats.evictions, stats.uncacheable, stats.errors
+        "  \"stats\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"rejected\": {}, \"insertions\": {}, \"evictions\": {}, \"uncacheable\": {}, \"errors\": {}}}\n",
+        stats.hits,
+        stats.misses,
+        stats.coalesced,
+        stats.rejected,
+        stats.insertions,
+        stats.evictions,
+        stats.uncacheable,
+        stats.errors
     ));
     json.push_str("}\n");
     std::fs::write(out, &json).expect("writing the service baseline file");
@@ -256,14 +505,34 @@ fn write_json(numbers: &mut RunNumbers, zipf_s: f64, seed: u64, out: &str) {
 }
 
 // ---------------------------------------------------------------------------
-// `--check`: the CI perf-regression guard on the cold (miss) path.
+// `--check`: the CI perf-regression guard on the cold (miss) path and, when
+// the committed baseline carries one, the contended p99.
 // ---------------------------------------------------------------------------
 
 /// Pulls `p50_ms` off the `"miss"` line of a committed `BENCH_service.json`
 /// (one object per line, no JSON parser needed).
 fn committed_miss_p50(text: &str) -> Option<f64> {
     let line = text.lines().find(|l| l.contains("\"miss\""))?;
-    let tail = line.split("\"p50_ms\": ").nth(1)?;
+    parse_field(line, "\"p50_ms\": ")
+}
+
+/// Pulls `p99_ms` off the `"contended"` line, when the committed baseline
+/// was produced with `--clients`.
+fn committed_contended_p99(text: &str) -> Option<f64> {
+    let line = text.lines().find(|l| l.contains("\"contended\""))?;
+    parse_field(line, "\"p99_ms\": ")
+}
+
+/// Pulls the `"count"` off the `"clients"` section's first line.
+fn committed_client_count(text: &str) -> Option<usize> {
+    let mut lines = text.lines().skip_while(|l| !l.contains("\"clients\""));
+    lines.next()?;
+    let line = lines.next()?;
+    parse_field(line, "\"count\": ").map(|n: f64| n as usize)
+}
+
+fn parse_field(line: &str, key: &str) -> Option<f64> {
+    let tail = line.split(key).nth(1)?;
     let number: String = tail
         .chars()
         .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
@@ -309,12 +578,37 @@ fn run_check(baseline_path: &str, tolerance_pct: f64) {
         eprintln!("PERF REGRESSION: service cold-compile p50 exceeds the committed baseline");
         std::process::exit(1);
     }
+
+    // The contended gate only arms once a `--clients` baseline is committed.
+    let Some(committed_p99) = committed_contended_p99(&text) else {
+        println!("service contended p99: no committed baseline, gate skipped");
+        return;
+    };
+    let clients = committed_client_count(&text).unwrap_or(4);
+    // Best-of-two full contended runs: concurrency jitter only adds time, so
+    // the minimum p99 is the comparable statistic.
+    let p99 = (0..2)
+        .map(|_| {
+            let (mut contended_ms, _, _, _) = run_contended(clients, 2000, 1.1, 42, false);
+            percentile(&mut contended_ms, 99.0)
+        })
+        .fold(f64::INFINITY, f64::min);
+    let ratio = p99 / committed_p99;
+    println!(
+        "service contended p99 ({clients} clients): best-of-2 {p99:.3} ms vs committed \
+         {committed_p99:.3} ms (x{ratio:.3}, tolerance +{tolerance_pct:.0}%)"
+    );
+    if ratio > 1.0 + tolerance_pct / 100.0 {
+        eprintln!("PERF REGRESSION: service contended p99 exceeds the committed baseline");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let mut requests = 2000usize;
     let mut zipf_s = 1.1f64;
     let mut seed = 42u64;
+    let mut clients = 0usize;
     let mut out: Option<String> = None;
     let mut smoke = false;
     let mut check: Option<String> = None;
@@ -349,6 +643,15 @@ fn main() {
                     }
                 };
             }
+            "--clients" => {
+                clients = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 1 => n,
+                    _ => {
+                        eprintln!("--clients needs an integer greater than 1");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--smoke" => {
                 smoke = true;
             }
@@ -373,7 +676,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other}; supported: --requests N, --zipf S, --seed SEED, \
-                     --smoke, --check PATH, --tolerance PCT, --out PATH"
+                     --clients N, --smoke, --check PATH, --tolerance PCT, --out PATH"
                 );
                 std::process::exit(2);
             }
@@ -390,7 +693,6 @@ fn main() {
 
     let out = out.unwrap_or_else(|| "BENCH_service.json".into());
     let mut numbers = run_service(requests, zipf_s, seed, smoke);
-    let stats = numbers.service.stats();
     eprintln!(
         "{} requests over a population of {}: {} hits / {} misses (rate {:.3}), \
          {} combinations verified bit-identical",
@@ -398,7 +700,7 @@ fn main() {
         numbers.population,
         numbers.hit_ms.len(),
         numbers.miss_ms.len(),
-        stats.hit_rate(),
+        numbers.stats.hit_rate(),
         numbers.verified
     );
     if numbers.hit_ms.is_empty() || numbers.miss_ms.is_empty() {
@@ -409,7 +711,41 @@ fn main() {
         eprintln!("SERVICE CACHE FAILURE: no cached combination could be verified");
         std::process::exit(1);
     }
-    write_json(&mut numbers, zipf_s, seed, &out);
+    if numbers.stats.hits != numbers.hit_ms.len() as u64 {
+        eprintln!(
+            "SERVICE STATS FAILURE: snapshot hits {} != measured hit count {}",
+            numbers.stats.hits,
+            numbers.hit_ms.len()
+        );
+        std::process::exit(1);
+    }
+
+    let mut client_numbers = if clients > 1 {
+        let numbers = run_clients(clients, requests, zipf_s, seed, smoke);
+        eprintln!(
+            "{} clients, {} contended requests: {} coalesced, {} rejected; \
+             same-key storm of {} requests compiled {} time(s)",
+            numbers.clients,
+            numbers.requests,
+            numbers.coalesced,
+            numbers.rejected,
+            numbers.storm_requests,
+            numbers.storm_compiles
+        );
+        if numbers.storm_compiles != 1 {
+            eprintln!(
+                "SERVICE COALESCING FAILURE: the same-key storm performed {} compiles \
+                 (singleflight must collapse it to exactly 1)",
+                numbers.storm_compiles
+            );
+            std::process::exit(1);
+        }
+        Some(numbers)
+    } else {
+        None
+    };
+
+    write_json(&mut numbers, client_numbers.as_mut(), zipf_s, seed, &out);
     if !smoke {
         // The acceptance bar for the committed baseline: a cache hit is at
         // least an order of magnitude cheaper than a cold compile.

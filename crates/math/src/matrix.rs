@@ -439,6 +439,38 @@ impl Matrix4 {
         Some([m[0][0], m[1][2], m[2][1], m[3][3]])
     }
 
+    /// If the matrix is block-structured like a canonical gate — the only
+    /// nonzero entries are the outer block `m[0][0]`, `m[0][3]`, `m[3][0]`,
+    /// `m[3][3]` on span{|00⟩, |11⟩} and the inner block `m[1][1]`,
+    /// `m[1][2]`, `m[2][1]`, `m[2][2]` on span{|01⟩, |10⟩} — returns
+    /// `[m00, m03, m30, m33, m11, m12, m21, m22]`.  Every `Can(a, b, c)`
+    /// has this shape, so the general Trotter-step interactions that are
+    /// neither diagonal nor SWAP-like land here: two independent complex
+    /// 2×2 blocks, half the arithmetic of a dense 4×4.
+    pub fn as_canonical_blocks(&self) -> Option<[Complex; 8]> {
+        let m = &self.data;
+        let keep = [
+            (0usize, 0usize),
+            (0, 3),
+            (3, 0),
+            (3, 3),
+            (1, 1),
+            (1, 2),
+            (2, 1),
+            (2, 2),
+        ];
+        for (i, row) in m.iter().enumerate() {
+            for (j, &e) in row.iter().enumerate() {
+                if !keep.contains(&(i, j)) && e != Complex::zero() {
+                    return None;
+                }
+            }
+        }
+        Some([
+            m[0][0], m[0][3], m[3][0], m[3][3], m[1][1], m[1][2], m[2][1], m[2][2],
+        ])
+    }
+
     /// Conjugates `self` by the permutation that exchanges the two qubits,
     /// i.e. returns `SWAP · self · SWAP`.  Useful for reasoning about gates
     /// whose qubit arguments are given in either order.

@@ -225,6 +225,26 @@ impl CompilePool {
     {
         run_on(&self.inner, count, &f)
     }
+
+    /// Pops one queued batch ticket and drains that batch on the calling
+    /// thread.  Returns `false` when the queue was empty (or only held
+    /// already-drained stale tickets — those are claimed and discarded in
+    /// O(1) without running anything).
+    ///
+    /// This is the *helping* primitive for threads that are waiting on
+    /// pool-adjacent work without being pool workers themselves: a service
+    /// request coalesced onto another caller's in-flight compile lends its
+    /// core to whatever the pool is running — typically the leader's
+    /// multi-start solver restarts — instead of sleeping on a condvar.
+    pub fn try_help_one(&self) -> bool {
+        match self.inner.try_pop() {
+            Some(ticket) => {
+                ticket.drain();
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl Drop for CompilePool {
@@ -509,5 +529,54 @@ mod tests {
     fn zero_count_is_a_no_op() {
         let pool = CompilePool::new(2);
         assert_eq!(pool.run_indexed(0, |k| k), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn try_help_one_drains_queued_tickets_from_non_worker_threads() {
+        let pool = CompilePool::new(2);
+        // Nothing queued: helping is a cheap no-op.
+        assert!(!pool.try_help_one());
+
+        // Occupy every runner — the submitter plus each dedicated worker —
+        // with a gate batch of exactly `workers()` items, and only start
+        // helping once all of them are *claimed* (`entered == workers`), so
+        // the helping thread can never end up running a gated item itself.
+        let entered = AtomicUsize::new(0);
+        let release = AtomicBool::new(false);
+        let executed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                pool.run_indexed(pool.workers(), |_| {
+                    entered.fetch_add(1, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                });
+            });
+            while entered.load(Ordering::SeqCst) < pool.workers() {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            // A second submission leaves its ticket in the queue: every
+            // runner is gated, so only a helping thread can claim it.  (The
+            // submitter drains its own items either way — helping is how
+            // waiting threads lend their core, not a liveness requirement —
+            // so the claimed ticket may already be stale.)
+            scope.spawn(|| {
+                pool.run_indexed(4, |_| {
+                    executed.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            let mut helped = false;
+            while !helped {
+                helped = pool.try_help_one();
+                if !helped {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+            release.store(true, Ordering::SeqCst);
+        });
+        assert_eq!(executed.load(Ordering::SeqCst), 4);
+        // The gate batch ran once per worker.
+        assert_eq!(entered.load(Ordering::SeqCst), pool.workers());
     }
 }

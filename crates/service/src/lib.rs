@@ -30,13 +30,39 @@
 //! [`DegradationRung::Full`] by a deadline, are **never** cached: a later
 //! request with a healthier budget must get the chance to produce the
 //! full-quality artifact.
+//!
+//! # Concurrency: singleflight coalescing and bounded admission
+//!
+//! The service is designed for **many concurrent callers**.  Two layers sit
+//! between the cache and the compile pool:
+//!
+//! * **In-flight coalescing (singleflight).**  The first thread to miss on a
+//!   key becomes that key's *leader* and compiles it; every other thread
+//!   that misses on the same key while the compile is running becomes a
+//!   *follower*: it parks on the leader's in-flight slot — lending its core
+//!   to queued pool work via [`CompilePool::try_help_one`] instead of
+//!   sleeping — and receives the leader's `Arc<CompiledOutput>` when it
+//!   lands (`coalesced: true` in the response, bit-identical by
+//!   construction since the artifact is shared).  A leader *failure*
+//!   propagates its typed [`ServiceError`] to all current followers and
+//!   then clears the slot — errors are never cached and never poison the
+//!   key, so a later retry compiles fresh.  A leader result that a deadline
+//!   *degraded* below full quality is shared with the followers that were
+//!   already waiting but never cached, matching the quality gate above.
+//! * **Bounded admission (backpressure).**  [`ServiceConfig::max_in_flight`]
+//!   caps the number of concurrently admitted miss compiles (leaders).
+//!   When the cap is reached, a request that would need a *new* compile is
+//!   fast-rejected with [`ServiceError::Overloaded`] instead of piling up
+//!   behind the pool — the caller sheds load, retries later, or routes
+//!   elsewhere.  Hits and followers are never rejected: they consume no
+//!   compile capacity.
 
 #![deny(missing_docs)]
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use twoqan::hash::ContentHasher;
 use twoqan::pipeline::{CompiledOutput, Compiler, DegradationRung};
@@ -60,16 +86,24 @@ pub struct ServiceConfig {
     /// Per-job retry budget for transient compile failures (see
     /// [`BatchCompiler::with_retries`]).
     pub retries: usize,
+    /// Maximum number of concurrently admitted miss compiles (in-flight
+    /// *leaders*); `0` means unbounded.  A request that would start a new
+    /// compile while the cap is saturated is fast-rejected with
+    /// [`ServiceError::Overloaded`].  Cache hits and requests that coalesce
+    /// onto an already-running compile are never rejected.
+    pub max_in_flight: usize,
 }
 
 impl Default for ServiceConfig {
-    /// 1024 cached outputs over 8 shards, one worker per core, no retries.
+    /// 1024 cached outputs over 8 shards, one worker per core, no retries,
+    /// unbounded admission.
     fn default() -> Self {
         Self {
             capacity: 1024,
             shards: 8,
             threads: 0,
             retries: 0,
+            max_in_flight: 0,
         }
     }
 }
@@ -84,6 +118,17 @@ pub enum ServiceError {
     },
     /// The compile itself failed (after any configured retries).
     Compile(CompileError),
+    /// The admission cap on concurrent miss compiles is saturated: serving
+    /// this request would require starting a new compile, and
+    /// [`ServiceConfig::max_in_flight`] of them are already running.  This
+    /// is a *fast* rejection — the request did not queue — so the caller
+    /// can shed load or retry after a backoff.
+    Overloaded {
+        /// Miss compiles in flight when the request was rejected.
+        in_flight: usize,
+        /// The configured admission cap ([`ServiceConfig::max_in_flight`]).
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -96,6 +141,10 @@ impl std::fmt::Display for ServiceError {
                 )
             }
             Self::Compile(e) => write!(f, "compilation failed: {e}"),
+            Self::Overloaded { in_flight, cap } => write!(
+                f,
+                "service overloaded: {in_flight} miss compile(s) in flight at a cap of {cap}"
+            ),
         }
     }
 }
@@ -126,6 +175,10 @@ pub struct ServiceResponse {
     pub output: Arc<CompiledOutput>,
     /// Whether the artifact came from the cache.
     pub hit: bool,
+    /// Whether this request coalesced onto another caller's in-flight
+    /// compile of the same key and received the leader's (shared, therefore
+    /// bit-identical) artifact instead of compiling itself.
+    pub coalesced: bool,
     /// Whether this request inserted the artifact into the cache (misses
     /// only; `false` when the result was uncacheable — failed requests
     /// return an error instead, degraded ones return `cached: false`).
@@ -135,10 +188,17 @@ pub struct ServiceResponse {
     /// Milliseconds between request arrival and compile start (hashing,
     /// cache lookup and — in a batch — waiting for a pool worker).
     pub queue_wait_ms: f64,
-    /// Compile wall-clock milliseconds (`0` on a hit).
+    /// Milliseconds a coalesced request spent waiting for the leader's
+    /// artifact (`0` unless `coalesced`).  Followers spend this time
+    /// helping with queued pool work, not sleeping.
+    pub coalesced_wait_ms: f64,
+    /// Compile wall-clock milliseconds (`0` on a hit or coalesced request).
     pub compile_ms: f64,
     /// Total request wall-clock milliseconds.
     pub wall_ms: f64,
+    /// Miss compiles in flight when this request arrived — the queue-depth
+    /// / backpressure signal [`ServiceConfig::max_in_flight`] caps.
+    pub queue_depth: usize,
 }
 
 impl ServiceResponse {
@@ -156,8 +216,15 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Requests answered from the cache.
     pub hits: u64,
-    /// Requests that compiled.
+    /// Requests that compiled (in-flight *leaders*; coalesced followers are
+    /// counted separately).
     pub misses: u64,
+    /// Requests that coalesced onto another caller's in-flight compile of
+    /// the same key instead of compiling themselves.
+    pub coalesced: u64,
+    /// Requests fast-rejected with [`ServiceError::Overloaded`] because the
+    /// admission cap on concurrent miss compiles was saturated.
+    pub rejected: u64,
     /// Artifacts inserted into the cache.
     pub insertions: u64,
     /// Artifacts evicted to respect the capacity bound.
@@ -185,6 +252,8 @@ struct Stats {
     requests: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
     uncacheable: AtomicU64,
@@ -201,6 +270,8 @@ impl Stats {
             requests: self.requests.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             uncacheable: self.uncacheable.load(Ordering::Relaxed),
@@ -271,6 +342,74 @@ impl Shard {
     }
 }
 
+/// One in-flight compile: the slot the key's leader publishes into and its
+/// followers park on.  `state` is `None` while the compile runs and becomes
+/// `Some(result)` exactly once; a shared `Arc` clone of the leader's output
+/// (or its typed error) is what every follower receives — bit-identical by
+/// construction.
+struct Flight {
+    state: Mutex<Option<Result<Arc<CompiledOutput>, ServiceError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+}
+
+/// How [`CompileService::admit`] classified a miss-path request.
+enum Admission<'s> {
+    /// The key was cached between the miss probe and admission (another
+    /// thread's leader landed it) — serve the artifact as a hit.
+    Hit(Arc<CompiledOutput>),
+    /// This thread is the key's leader: it owns the compile and must
+    /// publish through the lease (which also releases the admission slot).
+    Lead(FlightLease<'s>),
+    /// Another thread is already compiling this key — park on its flight.
+    Follow(Arc<Flight>),
+}
+
+/// The leader's RAII claim on an in-flight slot plus one admission token.
+///
+/// [`FlightLease::publish`] hands the compile result to every parked
+/// follower, clears the slot and releases the token.  Dropping the lease
+/// without publishing (a panic unwinding through the leader) publishes a
+/// typed internal error instead — followers are never left parked on a
+/// torn slot, and the key is never poisoned (the slot is removed either
+/// way, so a later retry compiles fresh).
+struct FlightLease<'s> {
+    service: &'s CompileService,
+    key: u128,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl FlightLease<'_> {
+    /// Publishes the leader's result to all followers and clears the slot.
+    fn publish(mut self, result: Result<Arc<CompiledOutput>, ServiceError>) {
+        self.published = true;
+        self.service.finish_flight(self.key, &self.flight, result);
+    }
+}
+
+impl Drop for FlightLease<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.service.finish_flight(
+                self.key,
+                &self.flight,
+                Err(ServiceError::Compile(CompileError::Internal {
+                    detail: "in-flight leader abandoned its compile".to_string(),
+                })),
+            );
+        }
+    }
+}
+
 /// A long-running compilation service with a content-addressed cache.
 ///
 /// Construction registers the compilers and provisions one long-lived
@@ -282,6 +421,13 @@ pub struct CompileService {
     compilers: Vec<Box<dyn Compiler>>,
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
+    /// In-flight compiles keyed by cache key, sharded like the cache so
+    /// leader registration and follower lookup contend per shard only.
+    flights: Vec<Mutex<HashMap<u128, Arc<Flight>>>>,
+    /// Currently admitted miss compiles (leaders holding admission tokens).
+    in_flight: AtomicUsize,
+    /// Admission cap (`0` = unbounded); see [`ServiceConfig::max_in_flight`].
+    max_in_flight: usize,
     batch: BatchCompiler,
     pool: CompilePool,
     stats: Stats,
@@ -312,6 +458,9 @@ impl CompileService {
             compilers,
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity: config.capacity.max(1).div_ceil(shards),
+            flights: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: config.max_in_flight,
             batch: BatchCompiler::new(threads).with_retries(config.retries),
             pool: CompilePool::new(threads),
             stats: Stats::default(),
@@ -351,14 +500,18 @@ impl CompileService {
     }
 
     /// Serves one request: a cache hit returns the stored artifact, a miss
-    /// compiles on the service pool and caches the result if it is a
-    /// full-quality success.
+    /// either compiles on the service pool (this thread is the key's
+    /// *leader*) or coalesces onto another thread's in-flight compile of
+    /// the same key and receives its shared artifact (`coalesced: true`).
+    /// Full-quality leader results are cached.
     ///
     /// # Errors
     ///
-    /// [`ServiceError::UnknownCompiler`] for an unregistered name, and
-    /// [`ServiceError::Compile`] when the compile fails (failures are never
-    /// cached — a retry can succeed later).
+    /// [`ServiceError::UnknownCompiler`] for an unregistered name,
+    /// [`ServiceError::Compile`] when the compile fails — propagated to the
+    /// leader *and* every coalesced follower, never cached, never poisoning
+    /// the key — and [`ServiceError::Overloaded`] when starting a new
+    /// compile would exceed [`ServiceConfig::max_in_flight`].
     pub fn request(
         &self,
         compiler: &str,
@@ -367,6 +520,7 @@ impl CompileService {
     ) -> Result<ServiceResponse, ServiceError> {
         let arrival = Instant::now();
         Stats::bump(&self.stats.requests);
+        let queue_depth = self.in_flight.load(Ordering::Relaxed);
         let Some(chosen) = self.compilers.iter().find(|c| c.name() == compiler) else {
             Stats::bump(&self.stats.errors);
             return Err(ServiceError::UnknownCompiler {
@@ -376,70 +530,230 @@ impl CompileService {
         let key = cache_key(chosen.as_ref(), circuit, device);
         if let Some(output) = self.shard(key).touch(key) {
             Stats::bump(&self.stats.hits);
-            let wall_ms = ms_since(arrival);
-            return Ok(ServiceResponse {
-                output,
-                hit: true,
-                cached: false,
-                key,
-                queue_wait_ms: wall_ms,
-                compile_ms: 0.0,
-                wall_ms,
+            return Ok(self.hit_response(output, key, arrival, queue_depth));
+        }
+        match self.admit(key)? {
+            Admission::Hit(output) => {
+                Stats::bump(&self.stats.hits);
+                Ok(self.hit_response(output, key, arrival, queue_depth))
+            }
+            Admission::Follow(flight) => {
+                let queue_wait_ms = ms_since(arrival);
+                let wait_start = Instant::now();
+                let result = self.wait_for_flight(&flight);
+                Stats::bump(&self.stats.coalesced);
+                match result {
+                    Ok(output) => Ok(ServiceResponse {
+                        output,
+                        hit: false,
+                        coalesced: true,
+                        cached: false,
+                        key,
+                        queue_wait_ms,
+                        coalesced_wait_ms: ms_since(wait_start),
+                        compile_ms: 0.0,
+                        wall_ms: ms_since(arrival),
+                        queue_depth,
+                    }),
+                    Err(e) => {
+                        Stats::bump(&self.stats.errors);
+                        Err(e)
+                    }
+                }
+            }
+            Admission::Lead(lease) => {
+                Stats::bump(&self.stats.misses);
+                let queue_wait_ms = ms_since(arrival);
+                let compile_start = Instant::now();
+                // The service pool is installed for the compile so the
+                // solvers' multi-start restarts reuse the long-lived
+                // workers instead of provisioning per request.
+                let guard = self.pool.install();
+                let result = self
+                    .batch
+                    .compile_batch(&[BatchJob {
+                        circuit,
+                        device,
+                        compiler: chosen.as_ref(),
+                    }])
+                    .pop()
+                    .expect("one job in, one result out");
+                drop(guard);
+                let compile_ms = ms_since(compile_start);
+                match result {
+                    Ok(output) => {
+                        let output = Arc::new(output);
+                        // Cache *before* the flight clears so a newcomer
+                        // always finds the key in one of the two maps.
+                        let cached = self.maybe_cache(key, &output, device);
+                        lease.publish(Ok(Arc::clone(&output)));
+                        Ok(ServiceResponse {
+                            output,
+                            hit: false,
+                            coalesced: false,
+                            cached,
+                            key,
+                            queue_wait_ms,
+                            coalesced_wait_ms: 0.0,
+                            compile_ms,
+                            wall_ms: ms_since(arrival),
+                            queue_depth,
+                        })
+                    }
+                    Err(e) => {
+                        Stats::bump(&self.stats.errors);
+                        let error = ServiceError::from(e);
+                        lease.publish(Err(error.clone()));
+                        Err(error)
+                    }
+                }
+            }
+        }
+    }
+
+    fn hit_response(
+        &self,
+        output: Arc<CompiledOutput>,
+        key: u128,
+        arrival: Instant,
+        queue_depth: usize,
+    ) -> ServiceResponse {
+        let wall_ms = ms_since(arrival);
+        ServiceResponse {
+            output,
+            hit: true,
+            coalesced: false,
+            cached: false,
+            key,
+            queue_wait_ms: wall_ms,
+            coalesced_wait_ms: 0.0,
+            compile_ms: 0.0,
+            wall_ms,
+            queue_depth,
+        }
+    }
+
+    /// Classifies a cache miss: follow an existing in-flight compile, serve
+    /// the cache entry a just-finished leader landed (double-checked under
+    /// the flight-shard lock), or become the key's leader — which requires
+    /// an admission token when [`ServiceConfig::max_in_flight`] is set.
+    fn admit(&self, key: u128) -> Result<Admission<'_>, ServiceError> {
+        let mut flights = self.flight_shard(key);
+        if let Some(flight) = flights.get(&key) {
+            return Ok(Admission::Follow(Arc::clone(flight)));
+        }
+        // Double-check the cache while holding the flight-shard lock: a
+        // leader inserts into the cache *before* clearing its flight, so a
+        // key absent from both maps genuinely needs a fresh compile.  (Lock
+        // order is always flight shard → cache shard; nothing acquires them
+        // in the opposite order.)
+        if let Some(output) = self.shard(key).touch(key) {
+            return Ok(Admission::Hit(output));
+        }
+        let admitted = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.max_in_flight != 0 && admitted > self.max_in_flight {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            Stats::bump(&self.stats.rejected);
+            Stats::bump(&self.stats.errors);
+            return Err(ServiceError::Overloaded {
+                in_flight: admitted - 1,
+                cap: self.max_in_flight,
             });
         }
-        Stats::bump(&self.stats.misses);
-        let queue_wait_ms = ms_since(arrival);
-        let compile_start = Instant::now();
-        // The service pool is installed for the compile so the solvers'
-        // multi-start restarts reuse the long-lived workers instead of
-        // provisioning per request.
-        let guard = self.pool.install();
-        let result = self
-            .batch
-            .compile_batch(&[BatchJob {
-                circuit,
-                device,
-                compiler: chosen.as_ref(),
-            }])
-            .pop()
-            .expect("one job in, one result out");
-        drop(guard);
-        let compile_ms = ms_since(compile_start);
-        let output = match result {
-            Ok(output) => Arc::new(output),
-            Err(e) => {
-                Stats::bump(&self.stats.errors);
-                return Err(e.into());
-            }
-        };
-        let cached = self.maybe_cache(key, &output, device);
-        Ok(ServiceResponse {
-            output,
-            hit: false,
-            cached,
+        let flight = Flight::new();
+        flights.insert(key, Arc::clone(&flight));
+        Ok(Admission::Lead(FlightLease {
+            service: self,
             key,
-            queue_wait_ms,
-            compile_ms,
-            wall_ms: ms_since(arrival),
-        })
+            flight,
+            published: false,
+        }))
+    }
+
+    /// Parks on a leader's in-flight slot until its result is published.
+    /// While waiting, the follower lends its core to queued pool work
+    /// ([`CompilePool::try_help_one`]) — typically the leader's own
+    /// multi-start restarts — instead of sleeping.
+    fn wait_for_flight(&self, flight: &Flight) -> Result<Arc<CompiledOutput>, ServiceError> {
+        loop {
+            {
+                let state = flight.state.lock().expect("in-flight slot poisoned");
+                if let Some(result) = state.as_ref() {
+                    return result.clone();
+                }
+            }
+            if self.pool.try_help_one() {
+                continue;
+            }
+            // Nothing to help with right now: park until the leader's
+            // notify (with a short timeout so newly queued pool work is
+            // picked up promptly).
+            let state = flight.state.lock().expect("in-flight slot poisoned");
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            let (state, _) = flight
+                .done
+                .wait_timeout(state, Duration::from_micros(500))
+                .expect("in-flight slot poisoned");
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+        }
+    }
+
+    /// Publishes a leader's result to its followers, clears the in-flight
+    /// slot and releases the admission token.  Called exactly once per
+    /// flight, via [`FlightLease::publish`] or the lease's drop guard.
+    fn finish_flight(
+        &self,
+        key: u128,
+        flight: &Arc<Flight>,
+        result: Result<Arc<CompiledOutput>, ServiceError>,
+    ) {
+        {
+            let mut flights = self.flight_shard(key);
+            // Remove only *this* flight — belt-and-braces against a stale
+            // lease racing a successor leader's registration.
+            if flights.get(&key).is_some_and(|f| Arc::ptr_eq(f, flight)) {
+                flights.remove(&key);
+            }
+        }
+        *flight.state.lock().expect("in-flight slot poisoned") = Some(result);
+        flight.done.notify_all();
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn flight_shard(&self, key: u128) -> MutexGuard<'_, HashMap<u128, Arc<Flight>>> {
+        let index = (key >> 96) as usize % self.flights.len();
+        self.flights[index]
+            .lock()
+            .expect("in-flight shard poisoned")
     }
 
     /// Serves a batch of requests, fanning the misses out over the service
     /// pool via [`BatchCompiler`]; responses keep the request order.
     /// Per-response `queue_wait_ms` covers hashing, lookup and the wait for
-    /// a pool worker.
+    /// a pool worker.  Duplicate keys inside the batch — and keys another
+    /// thread is already compiling — coalesce onto a single compile, just
+    /// like [`CompileService::request`].
     pub fn request_batch(
         &self,
         requests: &[ServiceRequest<'_>],
     ) -> Vec<Result<ServiceResponse, ServiceError>> {
         let arrival = Instant::now();
-        // Resolve every request first: hits and unknown names answer
-        // immediately, misses queue for the pool.
+        // Classify every request first: hits and unknown names answer
+        // immediately, each distinct missing key elects one in-batch leader
+        // (the pool compiles those), and everything else follows a flight —
+        // an in-batch leader's or another thread's.
         let mut responses: Vec<Option<Result<ServiceResponse, ServiceError>>> =
             (0..requests.len()).map(|_| None).collect();
-        let mut pending: Vec<(usize, u128, &dyn Compiler)> = Vec::new();
+        #[allow(clippy::type_complexity)]
+        let mut leaders: Vec<(usize, u128, &dyn Compiler, FlightLease<'_>, usize)> = Vec::new();
+        let mut followers: Vec<(usize, u128, Arc<Flight>, usize)> = Vec::new();
         for (i, req) in requests.iter().enumerate() {
             Stats::bump(&self.stats.requests);
+            let queue_depth = self.in_flight.load(Ordering::Relaxed);
             let Some(chosen) = self.compilers.iter().find(|c| c.name() == req.compiler) else {
                 Stats::bump(&self.stats.errors);
                 responses[i] = Some(Err(ServiceError::UnknownCompiler {
@@ -450,30 +764,31 @@ impl CompileService {
             let key = cache_key(chosen.as_ref(), req.circuit, req.device);
             if let Some(output) = self.shard(key).touch(key) {
                 Stats::bump(&self.stats.hits);
-                let wall_ms = ms_since(arrival);
-                responses[i] = Some(Ok(ServiceResponse {
-                    output,
-                    hit: true,
-                    cached: false,
-                    key,
-                    queue_wait_ms: wall_ms,
-                    compile_ms: 0.0,
-                    wall_ms,
-                }));
-            } else {
-                Stats::bump(&self.stats.misses);
-                pending.push((i, key, chosen.as_ref()));
+                responses[i] = Some(Ok(self.hit_response(output, key, arrival, queue_depth)));
+                continue;
+            }
+            match self.admit(key) {
+                Ok(Admission::Hit(output)) => {
+                    Stats::bump(&self.stats.hits);
+                    responses[i] = Some(Ok(self.hit_response(output, key, arrival, queue_depth)));
+                }
+                Ok(Admission::Lead(lease)) => {
+                    Stats::bump(&self.stats.misses);
+                    leaders.push((i, key, chosen.as_ref(), lease, queue_depth));
+                }
+                Ok(Admission::Follow(flight)) => followers.push((i, key, flight, queue_depth)),
+                Err(e) => responses[i] = Some(Err(e)),
             }
         }
-        if !pending.is_empty() {
-            let probes: Vec<ProbedCompiler<'_>> = pending
+        if !leaders.is_empty() {
+            let probes: Vec<ProbedCompiler<'_>> = leaders
                 .iter()
-                .map(|&(_, _, compiler)| ProbedCompiler::new(compiler, arrival))
+                .map(|&(_, _, compiler, _, _)| ProbedCompiler::new(compiler, arrival))
                 .collect();
-            let jobs: Vec<BatchJob<'_>> = pending
+            let jobs: Vec<BatchJob<'_>> = leaders
                 .iter()
                 .zip(&probes)
-                .map(|(&(i, _, _), probe)| BatchJob {
+                .map(|(&(i, _, _, _, _), probe)| BatchJob {
                     circuit: requests[i].circuit,
                     device: requests[i].device,
                     compiler: probe,
@@ -482,28 +797,62 @@ impl CompileService {
             let guard = self.pool.install();
             let results = self.batch.compile_batch(&jobs);
             drop(guard);
-            for (((i, key, _), probe), result) in pending.into_iter().zip(&probes).zip(results) {
+            for (((i, key, _, lease, queue_depth), probe), result) in
+                leaders.into_iter().zip(&probes).zip(results)
+            {
                 let entry = match result {
                     Ok(output) => {
                         let output = Arc::new(output);
                         let cached = self.maybe_cache(key, &output, requests[i].device);
+                        lease.publish(Ok(Arc::clone(&output)));
                         Ok(ServiceResponse {
                             output,
                             hit: false,
+                            coalesced: false,
                             cached,
                             key,
                             queue_wait_ms: probe.started_ms(),
+                            coalesced_wait_ms: 0.0,
                             compile_ms: probe.compile_ms(),
                             wall_ms: ms_since(arrival),
+                            queue_depth,
                         })
                     }
                     Err(e) => {
                         Stats::bump(&self.stats.errors);
-                        Err(e.into())
+                        let error = ServiceError::from(e);
+                        lease.publish(Err(error.clone()));
+                        Err(error)
                     }
                 };
                 responses[i] = Some(entry);
             }
+        }
+        // In-batch followers resolve instantly (their leader just
+        // published); followers of another thread's flight park on it.
+        for (i, key, flight, queue_depth) in followers {
+            let wait_start = Instant::now();
+            let result = self.wait_for_flight(&flight);
+            Stats::bump(&self.stats.coalesced);
+            let entry = match result {
+                Ok(output) => Ok(ServiceResponse {
+                    output,
+                    hit: false,
+                    coalesced: true,
+                    cached: false,
+                    key,
+                    queue_wait_ms: ms_since(arrival),
+                    coalesced_wait_ms: ms_since(wait_start),
+                    compile_ms: 0.0,
+                    wall_ms: ms_since(arrival),
+                    queue_depth,
+                }),
+                Err(e) => {
+                    Stats::bump(&self.stats.errors);
+                    Err(e)
+                }
+            };
+            responses[i] = Some(entry);
         }
         responses
             .into_iter()
@@ -814,6 +1163,7 @@ mod tests {
             shards: 4,
             threads: 1,
             retries: 0,
+            max_in_flight: 0,
         })
     }
 
@@ -824,12 +1174,16 @@ mod tests {
         let device = Device::montreal();
         let miss = service.request("2QAN", &circuit, &device).unwrap();
         assert!(!miss.hit);
+        assert!(!miss.coalesced);
         assert!(miss.cached);
         assert!(miss.compile_ms > 0.0);
+        assert_eq!(miss.queue_depth, 0, "no other compile was in flight");
         let hit = service.request("2QAN", &circuit, &device).unwrap();
         assert!(hit.hit);
+        assert!(!hit.coalesced);
         assert_eq!(hit.key, miss.key);
         assert_eq!(hit.compile_ms, 0.0);
+        assert_eq!(hit.coalesced_wait_ms, 0.0);
         assert!(Arc::ptr_eq(&hit.output, &miss.output) || bit_identical(&hit.output, &miss.output));
         let stats = service.stats();
         assert_eq!((stats.requests, stats.hits, stats.misses), (2, 1, 1));

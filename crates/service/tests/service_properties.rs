@@ -32,6 +32,7 @@ fn small_service(capacity: usize, shards: usize) -> CompileService {
         shards,
         threads: 1,
         retries: 0,
+        max_in_flight: 0,
     })
 }
 
@@ -177,6 +178,7 @@ fn failed_or_degraded_compiles_are_never_cached() {
             shards: 1,
             threads: 1,
             retries: 0,
+            max_in_flight: 0,
         },
         vec![Box::new(starved) as Box<dyn Compiler>],
     );
