@@ -488,7 +488,7 @@ fn write_json(
         json.push_str(&clients_json(clients));
     }
     json.push_str(&format!(
-        "  \"stats\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"rejected\": {}, \"insertions\": {}, \"evictions\": {}, \"uncacheable\": {}, \"errors\": {}}}\n",
+        "  \"stats\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"rejected\": {}, \"insertions\": {}, \"evictions\": {}, \"uncacheable\": {}, \"errors\": {}, \"warm_hits\": {}, \"invalidations\": {}, \"invalidated_entries\": {}}}\n",
         stats.hits,
         stats.misses,
         stats.coalesced,
@@ -496,7 +496,10 @@ fn write_json(
         stats.insertions,
         stats.evictions,
         stats.uncacheable,
-        stats.errors
+        stats.errors,
+        stats.warm_hits,
+        stats.invalidations,
+        stats.invalidated_entries
     ));
     json.push_str("}\n");
     std::fs::write(out, &json).expect("writing the service baseline file");

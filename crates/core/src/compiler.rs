@@ -64,6 +64,14 @@ pub struct TwoQanConfig {
     /// already installed, which always wins so nesting never over-spawns.
     /// Results are bit-identical for every setting.
     pub threads: usize,
+    /// Optional warm-start placement (`logical → physical`) from a previous
+    /// compile of the same circuit, forwarded to the mapping pass: restart
+    /// slot 0 of every mapping trial's QAP solver starts from this placement
+    /// (never ending up worse than the seed itself) while the remaining
+    /// restarts stay random.  Invalid seeds (device changed, wrong circuit)
+    /// silently fall back to the cold multi-start.  This knob changes the
+    /// artifact and is therefore part of the cache fingerprint.
+    pub warm_start: Option<Vec<usize>>,
 }
 
 impl Default for TwoQanConfig {
@@ -80,6 +88,7 @@ impl Default for TwoQanConfig {
             cost_model: CostModel::HopCount,
             budget: CompileBudget::unlimited(),
             threads: 0,
+            warm_start: None,
         }
     }
 }
@@ -102,6 +111,7 @@ impl TwoQanConfig {
             tabu: self.tabu.clone(),
             annealing: self.annealing.clone(),
             cost: self.cost_model,
+            warm_start: self.warm_start.clone(),
         }
     }
 
@@ -562,6 +572,24 @@ impl Compiler for TwoQanCompiler {
         config.threads = 0;
         crate::hash::fnv1a_64(&format!("{}|{config:?}", Compiler::name(self)))
     }
+
+    fn warm_clone(&self, placement: &[usize]) -> Option<Box<dyn Compiler>> {
+        // The warm compiler trades the cold multi-start portfolio (several
+        // trials × several solver restarts) for a single warm-seeded solver
+        // run.  This is safe — the warm solvers never return a placement
+        // worse than the seed — and is where the recompile speed-up comes
+        // from.  The seed lands in the config, so the cache fingerprint
+        // covers it automatically.
+        let mut config = self.config.clone();
+        config.warm_start = Some(placement.to_vec());
+        config.mapping_trials = 1;
+        config.tabu.restarts = 1;
+        config.annealing.restarts = 1;
+        Some(Box::new(Self {
+            config,
+            faults: self.faults.clone(),
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -818,5 +846,47 @@ mod tests {
         .compile(&circuit, &device)
         .unwrap();
         assert!(five.swap_count() <= one.swap_count());
+    }
+
+    #[test]
+    fn warm_clone_recompiles_validly_and_never_loses_to_its_seed() {
+        use crate::mapping::{mapping_cost, QubitMap};
+        let circuit = trotter_step(&nnn_heisenberg(10, 9), 1.0);
+        let device = Device::montreal();
+        let cold = TwoQanCompiler::default();
+        let cold_out = Compiler::compile(&cold, &circuit, &device).unwrap();
+        let seed = cold_out.initial_placement.clone();
+        let warm = cold
+            .warm_clone(&seed)
+            .expect("the 2QAN compiler has a warm path");
+        let warm_out = warm.compile(&circuit, &device).unwrap();
+        // The warm compile must be a complete, hardware-compatible artifact…
+        assert!(warm_out
+            .hardware_circuit
+            .iter_gates()
+            .filter(|g| g.is_two_qubit())
+            .all(|g| device.are_adjacent(g.qubit0(), g.qubit1())));
+        // …whose placement is at least as good (in QAP cost) as its seed.
+        let unified = circuit.unify_same_pair_gates();
+        let m = device.num_qubits();
+        let seed_cost = mapping_cost(&QubitMap::from_assignment(&seed, m), &unified, &device);
+        let warm_cost = mapping_cost(
+            &QubitMap::from_assignment(&warm_out.initial_placement, m),
+            &unified,
+            &device,
+        );
+        assert!(
+            warm_cost <= seed_cost,
+            "warm placement cost {warm_cost} worse than seed cost {seed_cost}"
+        );
+        // The seed changes the artifact, so it must change the cache key.
+        assert_ne!(cold.cache_fingerprint(), warm.cache_fingerprint());
+        let mut other_seed = seed.clone();
+        other_seed.swap(0, 1);
+        assert_ne!(
+            warm.cache_fingerprint(),
+            cold.warm_clone(&other_seed).unwrap().cache_fingerprint(),
+            "different seeds must land on different cache lines"
+        );
     }
 }

@@ -19,7 +19,8 @@ use rand::Rng;
 use twoqan_circuit::Circuit;
 use twoqan_device::Device;
 use twoqan_graphs::{
-    simulated_annealing_budgeted, tabu_search_budgeted, AnnealingConfig, QapProblem, TabuConfig,
+    simulated_annealing_budgeted, simulated_annealing_warm_budgeted, tabu_search_budgeted,
+    tabu_search_warm_budgeted, AnnealingConfig, QapProblem, TabuConfig, WarmStart,
 };
 
 /// The distance cost model the mapping and routing passes optimise.
@@ -53,6 +54,15 @@ pub struct MappingConfig {
     /// The QAP distance matrix flavour: hop counts or calibration-weighted
     /// −log-fidelity path costs.
     pub cost: CostModel,
+    /// Optional warm-start placement (`logical → physical`, one entry per
+    /// circuit qubit) retained from a previous compile of the same circuit.
+    /// When set and valid for the target device, restart slot 0 of the QAP
+    /// solver starts from this placement instead of a random one — the
+    /// solvers guarantee the result is never worse than the seed itself.
+    /// An invalid seed (wrong length, duplicate or out-of-range physical
+    /// qubits — e.g. after a device change) silently falls back to the
+    /// cold multi-start.
+    pub warm_start: Option<Vec<usize>>,
 }
 
 impl MappingConfig {
@@ -250,19 +260,60 @@ pub fn initial_mapping_budgeted<R: Rng + ?Sized>(
             device.weighted_distances(),
         ),
     };
+    // A warm seed is usable only if it is a valid placement of *this*
+    // circuit on *this* device; anything else (stale seed after a device
+    // swap, wrong circuit) falls back to the cold multi-start silently —
+    // warm-starting is an optimisation, never a correctness requirement.
+    let warm = config
+        .warm_start
+        .as_deref()
+        .and_then(|seed| pad_warm_seed(seed, n, m));
     let map = match config.strategy {
         InitialMappingStrategy::Trivial => QubitMap::identity(n, m),
         InitialMappingStrategy::TabuSearch => {
-            let result = tabu_search_budgeted(&padded_qap(), &config.tabu, budget, rng);
+            let result = match &warm {
+                Some(warm) => {
+                    tabu_search_warm_budgeted(&padded_qap(), &config.tabu, warm, budget, rng)
+                }
+                None => tabu_search_budgeted(&padded_qap(), &config.tabu, budget, rng),
+            };
             QubitMap::from_assignment(&result.assignment[..n], m)
         }
         InitialMappingStrategy::SimulatedAnnealing => {
-            let result =
-                simulated_annealing_budgeted(&padded_qap(), &config.annealing, budget, rng);
+            let result = match &warm {
+                Some(warm) => simulated_annealing_warm_budgeted(
+                    &padded_qap(),
+                    &config.annealing,
+                    warm,
+                    budget,
+                    rng,
+                ),
+                None => simulated_annealing_budgeted(&padded_qap(), &config.annealing, budget, rng),
+            };
             QubitMap::from_assignment(&result.assignment[..n], m)
         }
     };
     Ok(map)
+}
+
+/// Extends a warm `logical → physical` seed over `n` circuit qubits to the
+/// full `m`-facility padded QAP assignment (dummy facilities fill the unused
+/// physical qubits in increasing order), or `None` if the seed is not a
+/// valid injective placement of `n` qubits on an `m`-qubit device.
+fn pad_warm_seed(seed: &[usize], n: usize, m: usize) -> Option<WarmStart> {
+    if seed.len() != n {
+        return None;
+    }
+    let mut used = vec![false; m];
+    for &p in seed {
+        if p >= m || used[p] {
+            return None;
+        }
+        used[p] = true;
+    }
+    let mut assignment = seed.to_vec();
+    assignment.extend((0..m).filter(|&p| !used[p]));
+    Some(WarmStart::new(assignment))
 }
 
 /// The QAP cost (Eq. 7) of a mapping for a circuit on a device: the sum of
@@ -443,6 +494,69 @@ mod tests {
         // Every chain qubit must sit in the clean half (locations 0..=6).
         for &loc in &result.assignment[..6] {
             assert!(loc <= 6, "qubit placed on a poisoned edge region: {loc}");
+        }
+    }
+
+    #[test]
+    fn warm_seeded_mapping_never_loses_to_its_seed() {
+        let circuit = trotter_step(&nnn_ising(12, 5), 1.0);
+        let device = Device::grid(4, 4, TwoQubitBasis::Cnot);
+        // A deliberately mediocre seed: the identity placement, run through
+        // a single tiny-budget solver restart so there is no random-restart
+        // luck to hide behind.
+        let seed: Vec<usize> = (0..circuit.num_qubits()).collect();
+        let seed_map = QubitMap::from_assignment(&seed, device.num_qubits());
+        let seed_cost = mapping_cost(&seed_map, &circuit, &device);
+        for strategy in [
+            InitialMappingStrategy::TabuSearch,
+            InitialMappingStrategy::SimulatedAnnealing,
+        ] {
+            let config = MappingConfig {
+                strategy,
+                tabu: TabuConfig {
+                    max_iterations: 3,
+                    restarts: 1,
+                    ..TabuConfig::default()
+                },
+                annealing: AnnealingConfig {
+                    restarts: 1,
+                    moves_per_temperature: 4,
+                    ..AnnealingConfig::default()
+                },
+                warm_start: Some(seed.clone()),
+                ..MappingConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(99);
+            let map = initial_mapping_with(&circuit, &device, &config, &mut rng).unwrap();
+            let cost = mapping_cost(&map, &circuit, &device);
+            assert!(
+                cost <= seed_cost,
+                "{strategy:?}: warm result {cost} worse than its seed {seed_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_warm_seeds_fall_back_to_the_cold_multi_start() {
+        let circuit = chain_circuit(6);
+        let device = Device::grid(2, 3, TwoQubitBasis::Cnot);
+        let cold = MappingConfig::default();
+        // Wrong length, out-of-range and duplicated physical qubits: each
+        // must reproduce the cold compile bit for bit.
+        for bad_seed in [
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3, 4, 99],
+            vec![0, 1, 2, 3, 4, 0],
+        ] {
+            let warm = MappingConfig {
+                warm_start: Some(bad_seed),
+                ..MappingConfig::default()
+            };
+            let mut rng_a = StdRng::seed_from_u64(13);
+            let mut rng_b = StdRng::seed_from_u64(13);
+            let a = initial_mapping_with(&circuit, &device, &cold, &mut rng_a).unwrap();
+            let b = initial_mapping_with(&circuit, &device, &warm, &mut rng_b).unwrap();
+            assert_eq!(a, b, "an unusable seed must not change the result");
         }
     }
 

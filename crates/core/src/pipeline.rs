@@ -485,6 +485,20 @@ pub trait Compiler: Send + Sync {
     fn cache_fingerprint(&self) -> u64 {
         crate::hash::fnv1a_64(self.name())
     }
+
+    /// A reduced-effort variant of this compiler warm-started from a known
+    /// good `logical → physical` placement (typically the one this compiler
+    /// produced before the device's calibration drifted).  Implementations
+    /// must guarantee the warm compile is still fully valid and never ends
+    /// up with a placement worse than the seed itself; under that guarantee
+    /// they may cut their multi-start effort drastically, which is where
+    /// warm recompilation gets its speed-up.  The returned compiler's
+    /// [`Compiler::cache_fingerprint`] must cover the seed (it changes the
+    /// artifact).  The default — for compilers with no warm path — is
+    /// `None`, and callers fall back to a cold compile.
+    fn warm_clone(&self, _placement: &[usize]) -> Option<Box<dyn Compiler>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,239 @@
+//! Seeded calibration-drift streams over a heterogeneous [`Target`].
+//!
+//! Real devices are recalibrated on a cycle (typically daily), and every
+//! per-edge / per-qubit figure moves a little between snapshots.  A
+//! [`DriftStream`] simulates that: starting from an initial [`Target`], each
+//! [`DriftStream::advance`] applies one calibration cycle of independent
+//! **log-normal multiplicative walks** to the two-qubit error and duration
+//! of every edge and the read-out error and T1/T2 coherence of every qubit
+//! (`value ← value · exp(σ·z)`, `z ~ N(0, 1)`), clamped into the same
+//! physical ranges [`Target::validate`] enforces.
+//!
+//! The walk is deterministic for a fixed `(initial target, seed, config)`
+//! tuple, so drifted scenarios are reproducible across benchmark runs and
+//! the compile-service tests.  Each cycle is expressed as a
+//! [`DriftDelta`] and applied through [`Target::perturb`] — the stream
+//! exercises exactly the API external calibration feeds would use.
+
+use crate::target::{clamp_error, DriftDelta, Target};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-cycle log-normal walk widths (the σ of the ln-factor) of a
+/// [`DriftStream`].  A σ of 0.1 moves a value by about ±10% per cycle
+/// (one standard deviation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Walk width of every edge's two-qubit error rate (default 0.15).
+    pub two_qubit_error_sigma: f64,
+    /// Walk width of every edge's two-qubit gate duration (default 0.05).
+    pub two_qubit_duration_sigma: f64,
+    /// Walk width of every qubit's read-out error (default 0.10).
+    pub readout_sigma: f64,
+    /// Walk width of every qubit's T1 and T2 times (default 0.08).
+    pub coherence_sigma: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            two_qubit_error_sigma: 0.15,
+            two_qubit_duration_sigma: 0.05,
+            readout_sigma: 0.10,
+            coherence_sigma: 0.08,
+        }
+    }
+}
+
+/// A deterministic stream of drifted calibration snapshots (see the module
+/// docs for the walk model).
+#[derive(Debug, Clone)]
+pub struct DriftStream {
+    rng: StdRng,
+    current: Target,
+    config: DriftConfig,
+    cycle: u64,
+}
+
+/// One standard-normal draw via Box–Muller (the `rand` shim has no normal
+/// distribution; two uniforms per draw keep the stream deterministic).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    // 1 − u ∈ (0, 1] keeps the logarithm finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl DriftStream {
+    /// A stream starting at `initial` with the default [`DriftConfig`].
+    pub fn new(initial: Target, seed: u64) -> Self {
+        Self::with_config(initial, seed, DriftConfig::default())
+    }
+
+    /// A stream starting at `initial` with explicit walk widths.
+    pub fn with_config(initial: Target, seed: u64, config: DriftConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            current: initial,
+            config,
+            cycle: 0,
+        }
+    }
+
+    /// The current calibration snapshot (cycle 0 is the initial target).
+    pub fn current(&self) -> &Target {
+        &self.current
+    }
+
+    /// Number of calibration cycles applied so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances one calibration cycle and returns the applied
+    /// [`DriftDelta`]; the drifted snapshot is available via
+    /// [`DriftStream::current`].
+    ///
+    /// The draw order is fixed — edges in canonical sorted order (error,
+    /// then duration), then qubits in index order (read-out, T1, T2) — so
+    /// the stream is bit-reproducible for a fixed seed.
+    pub fn advance(&mut self) -> DriftDelta {
+        let t = &self.current;
+        let mut delta = DriftDelta::default();
+        for &(a, b) in t.edges() {
+            let ef = walk_factor(&mut self.rng, self.config.two_qubit_error_sigma);
+            delta
+                .two_qubit_error
+                .push(((a, b), clamp_error(t.two_qubit_error(a, b) * ef)));
+            let df = walk_factor(&mut self.rng, self.config.two_qubit_duration_sigma);
+            // Keep durations strictly positive: a noiseless 0 ns gate would
+            // otherwise be stuck at zero while its error drifts above it.
+            delta
+                .two_qubit_duration_ns
+                .push(((a, b), (t.two_qubit_duration_ns(a, b) * df).max(1e-3)));
+        }
+        for q in 0..t.num_qubits() {
+            let rf = walk_factor(&mut self.rng, self.config.readout_sigma);
+            delta
+                .readout_error
+                .push((q, clamp_error(t.readout_error(q) * rf)));
+            let t1f = walk_factor(&mut self.rng, self.config.coherence_sigma);
+            delta.t1_us.push((q, t.t1_us(q) * t1f));
+            let t2f = walk_factor(&mut self.rng, self.config.coherence_sigma);
+            delta.t2_us.push((q, t.t2_us(q) * t2f));
+        }
+        self.current = self
+            .current
+            .perturb(&delta)
+            .expect("drifted values are clamped into their physical ranges");
+        self.cycle += 1;
+        delta
+    }
+}
+
+/// One multiplicative log-normal walk factor `exp(σ·z)`.
+fn walk_factor(rng: &mut StdRng, sigma: f64) -> f64 {
+    (sigma * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::Calibration;
+    use twoqan_graphs::Graph;
+
+    fn initial() -> Target {
+        Target::heterogeneous(&Graph::grid(3, 3), &Calibration::montreal_october_2021(), 7)
+    }
+
+    #[test]
+    fn streams_are_deterministic_for_a_fixed_seed() {
+        let mut a = DriftStream::new(initial(), 42);
+        let mut b = DriftStream::new(initial(), 42);
+        let mut c = DriftStream::new(initial(), 43);
+        let mut diverged = false;
+        for _ in 0..5 {
+            assert_eq!(a.advance(), b.advance());
+            assert_eq!(a.current(), b.current());
+            c.advance();
+            diverged |= c.current() != a.current();
+        }
+        assert!(diverged, "a different seed must produce a different walk");
+        assert_eq!(a.cycle(), 5);
+    }
+
+    #[test]
+    fn every_cycle_validates_and_actually_moves() {
+        let mut stream = DriftStream::new(initial(), 9);
+        let mut previous = stream.current().clone();
+        for cycle in 0..50 {
+            let delta = stream.advance();
+            let t = stream.current();
+            assert_eq!(t.validate(), Ok(()), "cycle {cycle} must stay valid");
+            assert!(!t.is_uniform());
+            assert_ne!(*t, previous, "cycle {cycle} must change the snapshot");
+            // Every edge gets an error + duration update, every qubit a
+            // readout + T1 + T2 update.
+            assert_eq!(
+                delta.len(),
+                2 * t.edges().len() + 3 * t.num_qubits(),
+                "cycle {cycle}"
+            );
+            previous = t.clone();
+        }
+    }
+
+    #[test]
+    fn errors_stay_clamped_over_long_walks() {
+        let mut stream = DriftStream::with_config(
+            initial(),
+            3,
+            DriftConfig {
+                two_qubit_error_sigma: 0.8,
+                readout_sigma: 0.8,
+                ..DriftConfig::default()
+            },
+        );
+        for _ in 0..100 {
+            stream.advance();
+        }
+        let t = stream.current();
+        for &(a, b) in t.edges() {
+            let e = t.two_qubit_error(a, b);
+            assert!((1e-6..=0.45).contains(&e), "edge error {e} escaped clamp");
+            assert!(t.two_qubit_duration_ns(a, b) > 0.0);
+        }
+        for q in 0..t.num_qubits() {
+            assert!((1e-6..=0.45).contains(&t.readout_error(q)));
+            assert!(t.t1_us(q) > 0.0 && t.t2_us(q) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_still_perturbs_but_keeps_values() {
+        // σ = 0 walks multiply by exactly 1.0: values survive bit-for-bit
+        // (modulo the error clamp) while the snapshot is still marked
+        // heterogeneous — drift cycles are calibration events even when
+        // nothing moved.
+        let start = initial();
+        let mut stream = DriftStream::with_config(
+            start.clone(),
+            1,
+            DriftConfig {
+                two_qubit_error_sigma: 0.0,
+                two_qubit_duration_sigma: 0.0,
+                readout_sigma: 0.0,
+                coherence_sigma: 0.0,
+            },
+        );
+        stream.advance();
+        let t = stream.current();
+        for &(a, b) in start.edges() {
+            assert_eq!(t.two_qubit_error(a, b), start.two_qubit_error(a, b));
+            assert_eq!(
+                t.two_qubit_duration_ns(a, b),
+                start.two_qubit_duration_ns(a, b)
+            );
+        }
+    }
+}

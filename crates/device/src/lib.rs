@@ -15,7 +15,11 @@
 //! * [`Target`] — the per-qubit / per-edge refinement of the averages the
 //!   calibration-aware compiler passes and the per-channel noise model in
 //!   `twoqan-sim` consume, with deterministic seeded heterogeneous
-//!   generators ([`Target::heterogeneous`]),
+//!   generators ([`Target::heterogeneous`]) and a uniform atomic
+//!   perturbation API ([`Target::perturb`] over a [`DriftDelta`]),
+//! * [`DriftStream`] — seeded log-normal calibration-drift walks over a
+//!   [`Target`], one [`DriftDelta`] per simulated calibration cycle, for
+//!   warm-start recompilation scenarios,
 //! * [`DeviceError`] — typed construction errors: device and target
 //!   construction validates its inputs (connected topology, error rates in
 //!   `[0, 1]`, positive coherence times, …) and the `try_*` constructors
@@ -25,6 +29,7 @@
 
 pub mod calibration;
 pub mod device;
+pub mod drift;
 pub mod error;
 pub mod gateset;
 pub mod target;
@@ -32,6 +37,7 @@ pub mod topologies;
 
 pub use calibration::Calibration;
 pub use device::Device;
+pub use drift::{DriftConfig, DriftStream};
 pub use error::DeviceError;
 pub use gateset::{GateSet, TwoQubitBasis};
-pub use target::{HeterogeneitySpread, Target};
+pub use target::{DriftDelta, HeterogeneitySpread, Target};

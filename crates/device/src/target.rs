@@ -87,13 +87,78 @@ fn log_uniform_factor(rng: &mut StdRng, spread: f64) -> f64 {
     (u * spread.ln()).exp()
 }
 
-/// Clamps an error probability into a physically sensible range.
-fn clamp_error(e: f64) -> f64 {
+/// Clamps an error probability into a physically sensible range (shared
+/// with the calibration-drift walks in [`crate::drift`]).
+pub(crate) fn clamp_error(e: f64) -> f64 {
     e.clamp(1e-6, 0.45)
 }
 
 /// A normalised `(min, max)` device edge.
 type EdgeKey = (usize, usize);
+
+/// A batch of absolute calibration updates applied atomically by
+/// [`Target::perturb`] — the uniform "one calibration cycle drifted these
+/// values" currency shared by the per-field drift helpers
+/// ([`Target::with_two_qubit_error_on`], [`Target::with_readout_error_on`])
+/// and the [`DriftStream`](crate::DriftStream) full-snapshot walks.
+///
+/// Edges may be given in either orientation; values are *absolute*
+/// replacements, not multiplicative factors, so a delta can be logged,
+/// replayed and diffed.  An empty delta is a no-op that perturbs nothing
+/// (and keeps the target's uniform flag).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftDelta {
+    /// New per-edge two-qubit error rates: `((a, b), error)`.
+    pub two_qubit_error: Vec<((usize, usize), f64)>,
+    /// New per-edge two-qubit gate durations in nanoseconds.
+    pub two_qubit_duration_ns: Vec<((usize, usize), f64)>,
+    /// New per-qubit single-qubit error rates.
+    pub single_qubit_error: Vec<(usize, f64)>,
+    /// New per-qubit read-out error rates.
+    pub readout_error: Vec<(usize, f64)>,
+    /// New per-qubit T1 relaxation times in microseconds.
+    pub t1_us: Vec<(usize, f64)>,
+    /// New per-qubit T2 dephasing times in microseconds.
+    pub t2_us: Vec<(usize, f64)>,
+}
+
+impl DriftDelta {
+    /// A delta drifting a single edge's two-qubit error.
+    pub fn for_two_qubit_error(a: usize, b: usize, error: f64) -> Self {
+        Self {
+            two_qubit_error: vec![((a, b), error)],
+            ..Self::default()
+        }
+    }
+
+    /// A delta drifting a single qubit's read-out error.
+    pub fn for_readout_error(q: usize, error: f64) -> Self {
+        Self {
+            readout_error: vec![(q, error)],
+            ..Self::default()
+        }
+    }
+
+    /// Returns `true` if the delta carries no updates at all.
+    pub fn is_empty(&self) -> bool {
+        self.two_qubit_error.is_empty()
+            && self.two_qubit_duration_ns.is_empty()
+            && self.single_qubit_error.is_empty()
+            && self.readout_error.is_empty()
+            && self.t1_us.is_empty()
+            && self.t2_us.is_empty()
+    }
+
+    /// Total number of individual value updates in the delta.
+    pub fn len(&self) -> usize {
+        self.two_qubit_error.len()
+            + self.two_qubit_duration_ns.len()
+            + self.single_qubit_error.len()
+            + self.readout_error.len()
+            + self.t1_us.len()
+            + self.t2_us.len()
+    }
+}
 
 impl Target {
     /// The canonical per-edge/per-qubit skeleton: normalised sorted edges
@@ -248,18 +313,7 @@ impl Target {
         b: usize,
         error: f64,
     ) -> Result<Self, DeviceError> {
-        let i = self
-            .edge_index(a, b)
-            .ok_or(DeviceError::UnknownEdge { a, b })?;
-        check_error_rate(
-            &format!("two_qubit_error[{}-{}]", a.min(b), a.max(b)),
-            error,
-        )?;
-        let mut next = self.clone();
-        next.two_qubit_error[i] = error;
-        next.uniform = false;
-        next.normalized_edge_weight = Self::normalize_weights(&next.two_qubit_error, false);
-        Ok(next)
+        self.perturb(&DriftDelta::for_two_qubit_error(a, b, error))
     }
 
     /// Returns a copy of this target with the read-out error of qubit `q`
@@ -270,16 +324,88 @@ impl Target {
     /// [`DeviceError::UnknownQubit`] for an out-of-range qubit; the value is
     /// range-checked.
     pub fn with_readout_error_on(&self, q: usize, error: f64) -> Result<Self, DeviceError> {
+        self.perturb(&DriftDelta::for_readout_error(q, error))
+    }
+
+    /// Resolves a qubit index for a per-qubit perturbation.
+    fn check_qubit(&self, q: usize) -> Result<usize, DeviceError> {
         if q >= self.num_qubits {
             return Err(DeviceError::UnknownQubit {
                 qubit: q,
                 num_qubits: self.num_qubits,
             });
         }
-        check_error_rate(&format!("readout_error[{q}]"), error)?;
+        Ok(q)
+    }
+
+    /// Returns a copy of this target with every update in `delta` applied
+    /// atomically: either the whole delta validates and the drifted target
+    /// is returned, or the first offending entry is reported as a typed
+    /// error and `self` is untouched.
+    ///
+    /// A non-empty delta always marks the result heterogeneous (drift breaks
+    /// uniformity even when a value round-trips to the same number), and any
+    /// two-qubit error update recomputes the normalised routing weights.  An
+    /// empty delta returns an identical clone.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::UnknownEdge`] / [`DeviceError::UnknownQubit`] for
+    /// entries naming hardware the target does not have, and
+    /// [`DeviceError::InvalidCalibration`] (with the offending field name)
+    /// for values outside their physical range — the same rules as
+    /// [`Target::validate`].
+    pub fn perturb(&self, delta: &DriftDelta) -> Result<Self, DeviceError> {
         let mut next = self.clone();
-        next.readout_error[q] = error;
-        next.uniform = false;
+        for &((a, b), error) in &delta.two_qubit_error {
+            let i = next
+                .edge_index(a, b)
+                .ok_or(DeviceError::UnknownEdge { a, b })?;
+            check_error_rate(
+                &format!("two_qubit_error[{}-{}]", a.min(b), a.max(b)),
+                error,
+            )?;
+            next.two_qubit_error[i] = error;
+        }
+        for &((a, b), duration) in &delta.two_qubit_duration_ns {
+            let i = next
+                .edge_index(a, b)
+                .ok_or(DeviceError::UnknownEdge { a, b })?;
+            // Pair the duration with the (possibly just-updated) edge error
+            // so a zero duration on a noisy edge is rejected like validate().
+            check_duration(
+                &format!("two_qubit_duration_ns[{}-{}]", a.min(b), a.max(b)),
+                duration,
+                next.two_qubit_error[i],
+            )?;
+            next.two_qubit_duration_ns[i] = duration;
+        }
+        for &(q, error) in &delta.single_qubit_error {
+            let q = next.check_qubit(q)?;
+            check_error_rate(&format!("single_qubit_error[{q}]"), error)?;
+            next.single_qubit_error[q] = error;
+        }
+        for &(q, error) in &delta.readout_error {
+            let q = next.check_qubit(q)?;
+            check_error_rate(&format!("readout_error[{q}]"), error)?;
+            next.readout_error[q] = error;
+        }
+        for &(q, t1) in &delta.t1_us {
+            let q = next.check_qubit(q)?;
+            check_coherence(&format!("t1_us[{q}]"), t1)?;
+            next.t1_us[q] = t1;
+        }
+        for &(q, t2) in &delta.t2_us {
+            let q = next.check_qubit(q)?;
+            check_coherence(&format!("t2_us[{q}]"), t2)?;
+            next.t2_us[q] = t2;
+        }
+        if !delta.is_empty() {
+            next.uniform = false;
+        }
+        if !delta.two_qubit_error.is_empty() {
+            next.normalized_edge_weight = Self::normalize_weights(&next.two_qubit_error, false);
+        }
         Ok(next)
     }
 
@@ -631,6 +757,77 @@ mod tests {
         let r = t.with_readout_error_on(2, 0.33).unwrap();
         assert_eq!(r.readout_error(2), 0.33);
         assert_eq!(r.validate(), Ok(()));
+    }
+
+    #[test]
+    fn perturb_applies_a_multi_field_delta_atomically() {
+        let cal = Calibration::montreal_october_2021();
+        let t = Target::heterogeneous(&grid(), &cal, 5);
+        let (a, b) = t.edges()[0];
+        let delta = crate::target::DriftDelta {
+            two_qubit_error: vec![((a, b), 0.02)],
+            two_qubit_duration_ns: vec![((b, a), 410.0)],
+            single_qubit_error: vec![(1, 0.001)],
+            readout_error: vec![(2, 0.05)],
+            t1_us: vec![(3, 77.0)],
+            t2_us: vec![(3, 66.0)],
+        };
+        assert_eq!(delta.len(), 6);
+        assert!(!delta.is_empty());
+        let d = t.perturb(&delta).unwrap();
+        assert_eq!(d.two_qubit_error(a, b), 0.02);
+        // Reversed-orientation edges resolve to the same canonical entry.
+        assert_eq!(d.two_qubit_duration_ns(a, b), 410.0);
+        assert_eq!(d.single_qubit_error(1), 0.001);
+        assert_eq!(d.readout_error(2), 0.05);
+        assert_eq!(d.t1_us(3), 77.0);
+        assert_eq!(d.t2_us(3), 66.0);
+        assert_eq!(d.validate(), Ok(()));
+        assert!(!d.is_uniform());
+        // The edge-error update recomputed the routing weights.
+        assert_ne!(d.edge_weight(a, b), t.edge_weight(a, b));
+        // An empty delta is a pure clone that keeps the uniform flag.
+        let u = Target::uniform(&grid(), &cal);
+        let same = u.perturb(&crate::target::DriftDelta::default()).unwrap();
+        assert_eq!(same, u);
+        assert!(same.is_uniform());
+    }
+
+    #[test]
+    fn perturb_rejects_bad_entries_with_typed_errors() {
+        let cal = Calibration::montreal_october_2021();
+        let t = Target::heterogeneous(&grid(), &cal, 5);
+        let (a, b) = t.edges()[0];
+        // Unknown hardware.
+        assert!(matches!(
+            t.perturb(&crate::target::DriftDelta::for_two_qubit_error(0, 5, 0.01)),
+            Err(crate::error::DeviceError::UnknownEdge { a: 0, b: 5 })
+        ));
+        assert!(matches!(
+            t.perturb(&crate::target::DriftDelta {
+                t1_us: vec![(99, 50.0)],
+                ..Default::default()
+            }),
+            Err(crate::error::DeviceError::UnknownQubit { qubit: 99, .. })
+        ));
+        // Out-of-range values name the offending field.
+        match t.perturb(&crate::target::DriftDelta {
+            t2_us: vec![(2, -1.0)],
+            ..Default::default()
+        }) {
+            Err(crate::error::DeviceError::InvalidCalibration { field, .. }) => {
+                assert_eq!(field, "t2_us[2]");
+            }
+            other => panic!("expected InvalidCalibration, got {other:?}"),
+        }
+        // A zero duration paired with a *just-updated* nonzero error is
+        // rejected — the duration check sees the post-update error.
+        let bad = crate::target::DriftDelta {
+            two_qubit_error: vec![((a, b), 0.01)],
+            two_qubit_duration_ns: vec![((a, b), 0.0)],
+            ..Default::default()
+        };
+        assert!(t.perturb(&bad).is_err());
     }
 
     #[test]

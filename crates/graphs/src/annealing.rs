@@ -98,6 +98,57 @@ pub fn simulated_annealing_budgeted<R: Rng + ?Sized>(
         .expect("at least one restart is always performed")
 }
 
+/// Runs warm-started simulated annealing: schedule slot 0 anneals from the
+/// warm seed assignment, the remaining `config.restarts - 1` slots from
+/// fresh random starts with seeds pre-drawn from `rng`.
+///
+/// Like [`tabu_search_warm`](crate::tabu::tabu_search_warm), the result
+/// never costs more than the seed assignment (every schedule's best-so-far
+/// starts at its start, and the reduction keeps the minimum with ties broken
+/// in favour of the warm slot).  The seed's retained delta table is *not*
+/// consumed here: annealing adopts a table only once its acceptance rate
+/// drops below the amortization threshold, and a warm schedule still begins
+/// with a hot, high-acceptance phase.
+pub fn simulated_annealing_warm<R: Rng + ?Sized>(
+    problem: &QapProblem,
+    config: &AnnealingConfig,
+    warm: &crate::tabu::WarmStart,
+    rng: &mut R,
+) -> AnnealingResult {
+    simulated_annealing_warm_budgeted(problem, config, warm, &SolverBudget::unlimited(), rng)
+}
+
+/// [`simulated_annealing_warm`] under a cooperative budget (see
+/// [`simulated_annealing_budgeted`] for the expiry semantics).
+pub fn simulated_annealing_warm_budgeted<R: Rng + ?Sized>(
+    problem: &QapProblem,
+    config: &AnnealingConfig,
+    warm: &crate::tabu::WarmStart,
+    budget: &SolverBudget,
+    rng: &mut R,
+) -> AnnealingResult {
+    let restarts = config.restarts.max(1);
+    let seeds: Vec<u64> = (0..restarts).map(|_| rng.gen::<u64>()).collect();
+    let results = run_indexed(restarts, config.parallel, |k| {
+        let mut restart_rng = StdRng::seed_from_u64(seeds[k]);
+        if k == 0 {
+            annealing_schedule_from_budgeted(
+                problem,
+                config,
+                warm.assignment.clone(),
+                budget,
+                &mut restart_rng,
+            )
+        } else {
+            annealing_schedule_budgeted(problem, config, budget, &mut restart_rng)
+        }
+    });
+    results
+        .into_iter()
+        .reduce(|best, r| if r.cost < best.cost { r } else { best })
+        .expect("at least one restart is always performed")
+}
+
 /// Runs one annealing schedule from a random start drawn from `rng`.
 pub fn annealing_schedule<R: Rng + ?Sized>(
     problem: &QapProblem,
@@ -115,8 +166,27 @@ pub fn annealing_schedule_budgeted<R: Rng + ?Sized>(
     budget: &SolverBudget,
     rng: &mut R,
 ) -> AnnealingResult {
+    let start = problem.random_assignment(rng);
+    annealing_schedule_from_budgeted(problem, config, start, budget, rng)
+}
+
+/// Runs one annealing schedule from an explicit starting assignment under a
+/// cooperative budget, checked once per temperature sweep.  The best-so-far
+/// assignment starts at `start`, so the result never costs more than the
+/// start itself.
+pub fn annealing_schedule_from_budgeted<R: Rng + ?Sized>(
+    problem: &QapProblem,
+    config: &AnnealingConfig,
+    start: Vec<usize>,
+    budget: &SolverBudget,
+    rng: &mut R,
+) -> AnnealingResult {
+    assert!(
+        problem.is_valid_assignment(&start),
+        "annealing requires a valid starting assignment"
+    );
     let n = problem.num_facilities();
-    let mut current = problem.random_assignment(rng);
+    let mut current = start;
     let mut current_cost = problem.cost(&current);
     let mut best = current.clone();
     let mut best_cost = current_cost;
@@ -335,5 +405,54 @@ mod tests {
         assert!(p.is_valid_assignment(&one.assignment));
         assert!(p.is_valid_assignment(&four.assignment));
         assert!(four.cost <= one.cost);
+    }
+
+    #[test]
+    fn warm_start_never_loses_to_its_seed() {
+        use crate::tabu::WarmStart;
+        let p = line_on_grid(9, 4, 4);
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let start = p.random_assignment(&mut rng);
+            let start_cost = p.cost(&start);
+            let warm = WarmStart::new(start);
+            let r = simulated_annealing_warm(&p, &AnnealingConfig::default(), &warm, &mut rng);
+            assert!(r.cost <= start_cost, "seed {seed}: warm lost to its seed");
+            assert!(p.is_valid_assignment(&r.assignment));
+        }
+    }
+
+    #[test]
+    fn warm_parallel_and_serial_restarts_are_bit_identical() {
+        use crate::tabu::WarmStart;
+        let p = line_on_grid(8, 3, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let warm = WarmStart::new(p.random_assignment(&mut rng));
+        let config = AnnealingConfig {
+            restarts: 4,
+            ..AnnealingConfig::default()
+        };
+        for seed in 0..4 {
+            let serial = simulated_annealing_warm_budgeted(
+                &p,
+                &AnnealingConfig {
+                    parallel: false,
+                    ..config.clone()
+                },
+                &warm,
+                &SolverBudget::unlimited(),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let parallel = simulated_annealing_warm(
+                &p,
+                &AnnealingConfig {
+                    parallel: true,
+                    ..config.clone()
+                },
+                &warm,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            assert_eq!(serial, parallel, "seed {seed} diverged across thread modes");
+        }
     }
 }

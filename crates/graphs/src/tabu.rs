@@ -320,13 +320,22 @@ pub enum ScanOutcome {
 /// Blocked, early-aborting neighbourhood scan over the cached delta table.
 ///
 /// Semantically identical to [`select_best_move_reference`] (same move, same
-/// delta, same tie-breaks) whenever the budget does not expire: rows are
-/// skipped only when their cached lower bound ([`DeltaTable::row_lower_bound`],
-/// a min over a *superset* of the admissible moves) cannot strictly beat the
-/// current candidate, and candidate replacement itself requires a strictly
-/// smaller delta, so a skipped row can never contain the winning move.
-/// Surviving rows are rescanned with the exact reference semantics in index
-/// order, preserving first-wins tie-breaking.  The budget is checked once
+/// delta, same tie-breaks) whenever the budget does not expire.  Two filters
+/// cut the scanned volume:
+///
+/// 1. **Best-bound-first incumbent seeding** — the row with the globally
+///    smallest cached lower bound ([`DeltaTable::row_lower_bound`]) is
+///    scanned first, so the incumbent is near-optimal before the index-order
+///    sweep begins.  This pays off most on warm-started searches sitting in a
+///    local optimum, where almost every row's bound is non-negative.
+/// 2. **Per-row early abort** — a row is skipped when its lower bound (a min
+///    over a *superset* of the admissible moves, so never an overestimate)
+///    proves it cannot beat the incumbent, nor tie it at a
+///    lexicographically smaller pair.
+///
+/// Candidate replacement is tie-aware (`delta < d`, or `delta == d` at a
+/// lex-smaller `(i, j)`), which makes the result order-independent and equal
+/// to the reference scan's first-wins winner.  The budget is checked once
 /// per [`BUDGET_CHECK_ROWS`]-row tile.
 pub fn select_best_move(
     table: &DeltaTable,
@@ -338,20 +347,15 @@ pub fn select_best_move(
     budget: &SolverBudget,
 ) -> ScanOutcome {
     let n = problem.num_facilities();
+    if budget.expired() {
+        return ScanOutcome::Expired;
+    }
     let mut best: Option<(usize, usize, f64)> = None;
-    for i in 0..n {
-        if i % BUDGET_CHECK_ROWS == 0 && budget.expired() {
-            return ScanOutcome::Expired;
-        }
+    let scan_row = |i: usize, best: &mut Option<(usize, usize, f64)>| {
         let span = problem.scan_span(i);
         let lo = i + 1;
         if lo >= span {
-            continue;
-        }
-        if let Some((_, _, d)) = best {
-            if table.row_lower_bound(i) >= d {
-                continue;
-            }
+            return;
         }
         let i_active = problem.is_active(i);
         for j in lo..span {
@@ -367,10 +371,47 @@ pub fn select_best_move(
             if is_tabu && !aspires {
                 continue;
             }
-            if best.map(|(_, _, d)| delta < d).unwrap_or(true) {
-                best = Some((i, j, delta));
+            let replace = match *best {
+                None => true,
+                Some((bi, bj, d)) => delta < d || (delta == d && (i, j) < (bi, bj)),
+            };
+            if replace {
+                *best = Some((i, j, delta));
             }
         }
+    };
+    // Seed the incumbent from the most promising row so the per-row filter
+    // below starts strong.  O(n) to find, one row to scan.
+    let mut seed_row = None;
+    let mut seed_bound = f64::INFINITY;
+    for i in 0..n {
+        let bound = table.row_lower_bound(i);
+        if bound < seed_bound {
+            seed_bound = bound;
+            seed_row = Some(i);
+        }
+    }
+    if let Some(s) = seed_row {
+        scan_row(s, &mut best);
+    }
+    for i in 0..n {
+        if i % BUDGET_CHECK_ROWS == 0 && budget.expired() {
+            return ScanOutcome::Expired;
+        }
+        if Some(i) == seed_row {
+            continue;
+        }
+        if let Some((bi, _, d)) = best {
+            let bound = table.row_lower_bound(i);
+            // `bound > d`: every move in the row is strictly worse.
+            // `bound == d && i > bi`: a tie here loses the lex tie-break.
+            // `bound == d && i < bi` must still be scanned — it may hold an
+            // equal-delta move at a lex-smaller pair.
+            if bound > d || (bound == d && i > bi) {
+                continue;
+            }
+        }
+        scan_row(i, &mut best);
     }
     match best {
         Some((i, j, delta)) => ScanOutcome::Move(i, j, delta),
@@ -430,6 +471,93 @@ pub fn build_delta_table_reference(problem: &QapProblem, assignment: &[usize]) -
     delta
 }
 
+/// A seed for warm-started (incremental) search: the previous placement
+/// plus, optionally, the delta table retained from the run that produced it.
+///
+/// A retained table skips the O(n³) rebuild entirely when it is still
+/// consistent with `(problem, assignment)`; consistency is spot-checked
+/// against [`QapProblem::swap_delta`] on a handful of pairs and the table is
+/// silently rebuilt on any mismatch, so a stale table can cost time but
+/// never correctness.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// The previous best assignment (facility → location), used as the
+    /// starting point of restart slot 0.
+    pub assignment: Vec<usize>,
+    /// Delta table retained from the previous run, if the caller kept it.
+    pub delta_table: Option<DeltaTable>,
+}
+
+impl WarmStart {
+    /// A warm start from a bare assignment (the table will be rebuilt).
+    pub fn new(assignment: Vec<usize>) -> Self {
+        Self {
+            assignment,
+            delta_table: None,
+        }
+    }
+
+    /// A warm start carrying a retained delta table.
+    pub fn with_table(assignment: Vec<usize>, table: DeltaTable) -> Self {
+        Self {
+            assignment,
+            delta_table: Some(table),
+        }
+    }
+}
+
+/// Runs warm-started Tabu search: restart slot 0 starts from the warm seed
+/// (reusing its retained delta table when still consistent), the remaining
+/// `config.restarts - 1` slots stay independent random restarts with seeds
+/// pre-drawn from `rng`.
+///
+/// The result never costs more than the seed assignment itself: slot 0's
+/// best-so-far starts at the seed, and the cross-restart reduction keeps the
+/// minimum (ties broken in favour of the warm slot).
+pub fn tabu_search_warm<R: Rng + ?Sized>(
+    problem: &QapProblem,
+    config: &TabuConfig,
+    warm: &WarmStart,
+    rng: &mut R,
+) -> TabuResult {
+    tabu_search_warm_budgeted(problem, config, warm, &SolverBudget::unlimited(), rng)
+}
+
+/// [`tabu_search_warm`] under a cooperative budget (see
+/// [`tabu_search_budgeted`] for the expiry semantics).
+pub fn tabu_search_warm_budgeted<R: Rng + ?Sized>(
+    problem: &QapProblem,
+    config: &TabuConfig,
+    warm: &WarmStart,
+    budget: &SolverBudget,
+    rng: &mut R,
+) -> TabuResult {
+    let restarts = config.restarts.max(1);
+    // Same seed-drawing discipline as the cold search: one pre-drawn seed
+    // per restart keeps the outcome independent of execution order.  Slot 0
+    // ignores its seed (it starts from the warm assignment).
+    let seeds: Vec<u64> = (0..restarts).map(|_| rng.gen::<u64>()).collect();
+    let results = run_indexed(restarts, config.parallel, |k| {
+        if k == 0 {
+            tabu_core(
+                problem,
+                warm.assignment.clone(),
+                config,
+                budget,
+                warm.delta_table.clone(),
+            )
+        } else {
+            let mut restart_rng = StdRng::seed_from_u64(seeds[k]);
+            let start = problem.random_assignment(&mut restart_rng);
+            tabu_search_from_budgeted(problem, start, config, budget)
+        }
+    });
+    results
+        .into_iter()
+        .reduce(|best, r| if r.cost < best.cost { r } else { best })
+        .expect("at least one restart is always performed")
+}
+
 /// Runs Tabu search from an explicit starting assignment.
 pub fn tabu_search_from(
     problem: &QapProblem,
@@ -448,6 +576,44 @@ pub fn tabu_search_from_budgeted(
     config: &TabuConfig,
     budget: &SolverBudget,
 ) -> TabuResult {
+    tabu_core(problem, start, config, budget, None)
+}
+
+/// How many sampled pairs a retained delta table is spot-checked on before
+/// being trusted by [`tabu_core`].
+const WARM_TABLE_PROBES: usize = 3;
+
+/// Returns `true` when `table` is plausibly consistent with
+/// `(problem, assignment)`: right size, and a handful of sampled pair deltas
+/// match a from-scratch [`QapProblem::swap_delta`] recomputation.
+fn warm_table_consistent(table: &DeltaTable, problem: &QapProblem, assignment: &[usize]) -> bool {
+    let n = problem.num_facilities();
+    if table.n != n || n < 2 {
+        return false;
+    }
+    for p in 0..WARM_TABLE_PROBES {
+        let i = p * (n - 1) / WARM_TABLE_PROBES.max(1);
+        let span = problem.scan_span(i);
+        if i + 1 >= span {
+            continue;
+        }
+        let j = i + 1;
+        if (table.delta(i, j) - problem.swap_delta(assignment, i, j)).abs() > 1e-9 {
+            return false;
+        }
+    }
+    true
+}
+
+/// The single Tabu descent every public entry point funnels into, with an
+/// optional retained delta table from a warm start.
+fn tabu_core(
+    problem: &QapProblem,
+    start: Vec<usize>,
+    config: &TabuConfig,
+    budget: &SolverBudget,
+    retained: Option<DeltaTable>,
+) -> TabuResult {
     assert!(
         problem.is_valid_assignment(&start),
         "tabu search requires a valid starting assignment"
@@ -463,11 +629,13 @@ pub fn tabu_search_from_budgeted(
     let mut iterations = 0usize;
     // The delta table costs O(n³) up front — the budgeted build bails out
     // per row tile, so a zero-deadline call returns (the valid start)
-    // immediately and a mid-build expiry wastes at most one tile.
-    let mut deltas = if n >= 2 && !budget.expired() {
-        DeltaTable::new_budgeted(problem, &current, budget)
-    } else {
-        None
+    // immediately and a mid-build expiry wastes at most one tile.  A warm
+    // start's retained table (spot-checked for consistency) skips the build.
+    let retained = retained.filter(|t| warm_table_consistent(t, problem, &current));
+    let mut deltas = match retained {
+        Some(table) => Some(table),
+        None if n >= 2 && !budget.expired() => DeltaTable::new_budgeted(problem, &current, budget),
+        None => None,
     };
 
     for iter in 1..=config.max_iterations {
@@ -674,5 +842,120 @@ mod tests {
     fn rejects_invalid_start() {
         let p = line_on_grid(4, 2, 2);
         let _ = tabu_search_from(&p, vec![0, 0, 1, 2], &TabuConfig::default());
+    }
+
+    #[test]
+    fn warm_start_never_loses_to_its_seed() {
+        let p = line_on_grid(9, 4, 4);
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let start = p.random_assignment(&mut rng);
+            let start_cost = p.cost(&start);
+            let warm = WarmStart::new(start);
+            let r = tabu_search_warm(&p, &TabuConfig::default(), &warm, &mut rng);
+            assert!(r.cost <= start_cost, "seed {seed}: warm lost to its seed");
+            assert!(p.is_valid_assignment(&r.assignment));
+        }
+    }
+
+    #[test]
+    fn warm_start_from_an_optimum_returns_it_unchanged() {
+        // Find the optimum cold, then warm-start from it: the warm slot's
+        // best-so-far starts at the optimum and can never be displaced.
+        let p = line_on_grid(6, 2, 3);
+        let cold = tabu_search(&p, &TabuConfig::default(), &mut StdRng::seed_from_u64(17));
+        assert_eq!(cold.cost, 10.0);
+        let warm = WarmStart::new(cold.assignment.clone());
+        let r = tabu_search_warm(
+            &p,
+            &TabuConfig::default(),
+            &warm,
+            &mut StdRng::seed_from_u64(99),
+        );
+        assert_eq!(r.cost, 10.0);
+    }
+
+    #[test]
+    fn retained_table_matches_rebuilt_table_bit_identically() {
+        let p = line_on_grid(9, 4, 4);
+        let mut rng = StdRng::seed_from_u64(21);
+        let start = p.random_assignment(&mut rng);
+        let table = DeltaTable::new(&p, &start);
+        let cfg = TabuConfig::default();
+        let without = tabu_search_warm(
+            &p,
+            &cfg,
+            &WarmStart::new(start.clone()),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let with = tabu_search_warm(
+            &p,
+            &cfg,
+            &WarmStart::with_table(start, table),
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(without, with);
+    }
+
+    #[test]
+    fn stale_retained_table_is_detected_and_rebuilt() {
+        let p = line_on_grid(8, 3, 3);
+        let mut rng = StdRng::seed_from_u64(33);
+        let a = p.random_assignment(&mut rng);
+        let mut b = a.clone();
+        // Make the table stale in a way the probes must notice: swap the
+        // first two facilities, which changes the probed (0, 1) row.
+        b.swap(0, 1);
+        let stale = DeltaTable::new(&p, &b);
+        assert!(!warm_table_consistent(&stale, &p, &a));
+        let cfg = TabuConfig {
+            restarts: 1,
+            ..TabuConfig::default()
+        };
+        let clean = tabu_search_warm(
+            &p,
+            &cfg,
+            &WarmStart::new(a.clone()),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let guarded = tabu_search_warm(
+            &p,
+            &cfg,
+            &WarmStart::with_table(a, stale),
+            &mut StdRng::seed_from_u64(1),
+        );
+        assert_eq!(clean, guarded);
+    }
+
+    #[test]
+    fn warm_parallel_and_serial_restarts_are_bit_identical() {
+        let p = line_on_grid(9, 4, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let warm = WarmStart::new(p.random_assignment(&mut rng));
+        let config = TabuConfig {
+            restarts: 5,
+            ..TabuConfig::default()
+        };
+        for seed in 0..4 {
+            let serial = tabu_search_warm(
+                &p,
+                &TabuConfig {
+                    parallel: false,
+                    ..config.clone()
+                },
+                &warm,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let parallel = tabu_search_warm(
+                &p,
+                &TabuConfig {
+                    parallel: true,
+                    ..config.clone()
+                },
+                &warm,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            assert_eq!(serial, parallel, "seed {seed} diverged across thread modes");
+        }
     }
 }

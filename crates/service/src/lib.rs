@@ -31,6 +31,24 @@
 //! request with a healthier budget must get the chance to produce the
 //! full-quality artifact.
 //!
+//! # Warm-start recompilation under drift
+//!
+//! [`CompileService::recompile`] goes one step further than invalidation:
+//! alongside the artifact cache the service keeps a **drift-stable
+//! placement index** — keyed by [`stable_key`], which hashes everything in
+//! [`cache_key`] *except* the calibration snapshot — remembering the
+//! initial placement of the last full-quality compile of every workload.
+//! When drift invalidates an artifact, `recompile` seeds
+//! [`Compiler::warm_clone`] with the predecessor placement: a
+//! reduced-effort compiler whose warm-started QAP solvers are guaranteed
+//! never to end with a placement worse than the seed.  Because calibration
+//! drift moves placement quality only marginally per cycle, the warm
+//! compile skips most of the cold multi-start effort (see
+//! [`StatsSnapshot::warm_speedup`]) while staying fully valid and
+//! equivalence-checkable.  Warm artifacts are cached under the warm
+//! compiler's own fingerprint, so plain [`CompileService::request`] hits
+//! never observe a warm-derived artifact.
+//!
 //! # Concurrency: singleflight coalescing and bounded admission
 //!
 //! The service is designed for **many concurrent callers**.  Two layers sit
@@ -179,6 +197,10 @@ pub struct ServiceResponse {
     /// compile of the same key and received the leader's (shared, therefore
     /// bit-identical) artifact instead of compiling itself.
     pub coalesced: bool,
+    /// Whether the artifact came from the warm-start recompile path: a
+    /// previous snapshot's placement seeded a reduced-effort compile (only
+    /// [`CompileService::recompile`] sets this).
+    pub warm: bool,
     /// Whether this request inserted the artifact into the cache (misses
     /// only; `false` when the result was uncacheable — failed requests
     /// return an error instead, degraded ones return `cached: false`).
@@ -234,6 +256,19 @@ pub struct StatsSnapshot {
     pub uncacheable: u64,
     /// Requests that returned an error.
     pub errors: u64,
+    /// Successful *warm* leader compiles: recompiles where the predecessor
+    /// snapshot's placement seeded a reduced-effort compile.
+    pub warm_hits: u64,
+    /// Total wall-clock microseconds of successful *warm* leader compiles.
+    pub warm_compile_us: u64,
+    /// Successful *cold* (full-effort) leader compiles.
+    pub cold_compiles: u64,
+    /// Total wall-clock microseconds of successful cold leader compiles.
+    pub cold_compile_us: u64,
+    /// Calls to [`CompileService::invalidate_device`].
+    pub invalidations: u64,
+    /// Cached artifacts dropped by those invalidation calls.
+    pub invalidated_entries: u64,
 }
 
 impl StatsSnapshot {
@@ -244,6 +279,18 @@ impl StatsSnapshot {
         } else {
             self.hits as f64 / self.requests as f64
         }
+    }
+
+    /// Mean cold compile time divided by mean warm compile time — how much
+    /// faster a warm-start recompile is than a from-scratch compile.  `0`
+    /// until at least one of each has completed.
+    pub fn warm_speedup(&self) -> f64 {
+        if self.warm_hits == 0 || self.cold_compiles == 0 || self.warm_compile_us == 0 {
+            return 0.0;
+        }
+        let cold_mean = self.cold_compile_us as f64 / self.cold_compiles as f64;
+        let warm_mean = self.warm_compile_us as f64 / self.warm_hits as f64;
+        cold_mean / warm_mean
     }
 }
 
@@ -258,11 +305,21 @@ struct Stats {
     evictions: AtomicU64,
     uncacheable: AtomicU64,
     errors: AtomicU64,
+    warm_hits: AtomicU64,
+    warm_compile_us: AtomicU64,
+    cold_compiles: AtomicU64,
+    cold_compile_us: AtomicU64,
+    invalidations: AtomicU64,
+    invalidated_entries: AtomicU64,
 }
 
 impl Stats {
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(counter: &AtomicU64, amount: u64) {
+        counter.fetch_add(amount, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> StatsSnapshot {
@@ -276,6 +333,12 @@ impl Stats {
             evictions: self.evictions.load(Ordering::Relaxed),
             uncacheable: self.uncacheable.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            warm_compile_us: self.warm_compile_us.load(Ordering::Relaxed),
+            cold_compiles: self.cold_compiles.load(Ordering::Relaxed),
+            cold_compile_us: self.cold_compile_us.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            invalidated_entries: self.invalidated_entries.load(Ordering::Relaxed),
         }
     }
 }
@@ -339,6 +402,54 @@ impl Shard {
             },
         );
         evicted
+    }
+}
+
+/// What [`CompileService::recompile`] remembers about the last successful
+/// full-quality compile of a drift-stable key: which calibration snapshot
+/// it was compiled against, where the artifact lives in the cache, and the
+/// initial placement that seeds a warm recompile after the snapshot drifts.
+#[derive(Clone)]
+struct PlacementRecord {
+    device_fingerprint: u128,
+    artifact_key: u128,
+    placement: Vec<usize>,
+}
+
+/// The bounded LRU index from [`stable_key`] to [`PlacementRecord`].
+/// Placements survive device drift by construction (the key excludes the
+/// calibration snapshot), which is the whole point: when drift invalidates
+/// an artifact, its placement is still here to warm-start the recompile.
+#[derive(Default)]
+struct PlacementIndex {
+    entries: HashMap<u128, (PlacementRecord, u64)>,
+    clock: u64,
+}
+
+impl PlacementIndex {
+    fn touch(&mut self, key: u128) -> Option<PlacementRecord> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|(record, last_used)| {
+            *last_used = clock;
+            record.clone()
+        })
+    }
+
+    fn record(&mut self, key: u128, record: PlacementRecord, capacity: usize) {
+        if !self.entries.contains_key(&key) {
+            while self.entries.len() >= capacity.max(1) {
+                let lru = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, last_used))| *last_used)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty index has an LRU entry");
+                self.entries.remove(&lru);
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(key, (record, self.clock));
     }
 }
 
@@ -428,6 +539,10 @@ pub struct CompileService {
     in_flight: AtomicUsize,
     /// Admission cap (`0` = unbounded); see [`ServiceConfig::max_in_flight`].
     max_in_flight: usize,
+    /// Drift-stable placement index feeding warm-start recompiles, bounded
+    /// by the same capacity as the artifact cache.
+    placements: Mutex<PlacementIndex>,
+    placement_capacity: usize,
     batch: BatchCompiler,
     pool: CompilePool,
     stats: Stats,
@@ -461,6 +576,8 @@ impl CompileService {
             flights: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             in_flight: AtomicUsize::new(0),
             max_in_flight: config.max_in_flight,
+            placements: Mutex::new(PlacementIndex::default()),
+            placement_capacity: config.capacity.max(1),
             batch: BatchCompiler::new(threads).with_retries(config.retries),
             pool: CompilePool::new(threads),
             stats: Stats::default(),
@@ -532,6 +649,135 @@ impl CompileService {
             Stats::bump(&self.stats.hits);
             return Ok(self.hit_response(output, key, arrival, queue_depth));
         }
+        let stable = stable_key(chosen.as_ref(), circuit, device);
+        self.serve_miss(
+            chosen.as_ref(),
+            circuit,
+            device,
+            key,
+            stable,
+            false,
+            arrival,
+            queue_depth,
+        )
+    }
+
+    /// Recompiles a workload whose cached artifact was invalidated by
+    /// calibration drift, **warm-starting** from the placement of the last
+    /// successful compile of the same (compiler, circuit, topology) when
+    /// one is known:
+    ///
+    /// 1. If the *current* snapshot's artifact is cached (the target did not
+    ///    actually change, or another thread already recompiled it), it is
+    ///    served as an ordinary hit — bit-identical to a cold compile by the
+    ///    cache contract.
+    /// 2. Otherwise the drift-stable placement index is consulted.  A
+    ///    recorded placement seeds [`Compiler::warm_clone`] — a
+    ///    reduced-effort compiler that is guaranteed never to end up with a
+    ///    worse placement than the seed — and the warm artifact is compiled,
+    ///    cached under the warm compiler's own key and returned with
+    ///    `warm: true`.
+    /// 3. With no usable record (first sight of the workload, index
+    ///    eviction, or a compiler without a warm path) the request falls
+    ///    back to a cold compile, exactly like [`CompileService::request`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompileService::request`].
+    pub fn recompile(
+        &self,
+        compiler: &str,
+        circuit: &Circuit,
+        device: &Device,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let arrival = Instant::now();
+        Stats::bump(&self.stats.requests);
+        let queue_depth = self.in_flight.load(Ordering::Relaxed);
+        let Some(chosen) = self.compilers.iter().find(|c| c.name() == compiler) else {
+            Stats::bump(&self.stats.errors);
+            return Err(ServiceError::UnknownCompiler {
+                name: compiler.to_string(),
+            });
+        };
+        let key = cache_key(chosen.as_ref(), circuit, device);
+        if let Some(output) = self.shard(key).touch(key) {
+            Stats::bump(&self.stats.hits);
+            return Ok(self.hit_response(output, key, arrival, queue_depth));
+        }
+        let stable = stable_key(chosen.as_ref(), circuit, device);
+        let record = self
+            .placements
+            .lock()
+            .expect("placement index poisoned")
+            .touch(stable);
+        if let Some(record) = record {
+            // Fast path for a repeat recompile against an unchanged
+            // snapshot whose artifact is still cached under its own key.
+            if record.device_fingerprint == device_fingerprint(device) {
+                if let Some(output) = self.shard(record.artifact_key).touch(record.artifact_key) {
+                    Stats::bump(&self.stats.hits);
+                    let mut response =
+                        self.hit_response(output, record.artifact_key, arrival, queue_depth);
+                    // A recorded artifact under a different key than the
+                    // cold one was produced by a warm compile.
+                    response.warm = record.artifact_key != key;
+                    return Ok(response);
+                }
+            }
+            if let Some(warm_compiler) = chosen.warm_clone(&record.placement) {
+                // The warm artifact is keyed under the *warm* compiler's
+                // fingerprint (which covers the seed), so plain `request`
+                // hits never observe warm-derived artifacts and repeated
+                // recompiles of the same drifted snapshot hit this key.
+                let warm_key = cache_key(warm_compiler.as_ref(), circuit, device);
+                if let Some(output) = self.shard(warm_key).touch(warm_key) {
+                    Stats::bump(&self.stats.hits);
+                    let mut response = self.hit_response(output, warm_key, arrival, queue_depth);
+                    response.warm = true;
+                    return Ok(response);
+                }
+                return self.serve_miss(
+                    warm_compiler.as_ref(),
+                    circuit,
+                    device,
+                    warm_key,
+                    stable,
+                    true,
+                    arrival,
+                    queue_depth,
+                );
+            }
+        }
+        self.serve_miss(
+            chosen.as_ref(),
+            circuit,
+            device,
+            key,
+            stable,
+            false,
+            arrival,
+            queue_depth,
+        )
+    }
+
+    /// The shared miss path of [`CompileService::request`] and
+    /// [`CompileService::recompile`]: singleflight admission, the compile
+    /// itself (on the service pool), caching, placement recording and the
+    /// warm/cold timing counters.  `stable` is the drift-stable key of the
+    /// *registered* compiler (not a warm clone's), so successive recompiles
+    /// keep finding the freshest placement.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_miss(
+        &self,
+        compiler: &dyn Compiler,
+        circuit: &Circuit,
+        device: &Device,
+        key: u128,
+        stable: u128,
+        warm: bool,
+        arrival: Instant,
+        queue_depth: usize,
+    ) -> Result<ServiceResponse, ServiceError> {
         match self.admit(key)? {
             Admission::Hit(output) => {
                 Stats::bump(&self.stats.hits);
@@ -547,6 +793,7 @@ impl CompileService {
                         output,
                         hit: false,
                         coalesced: true,
+                        warm,
                         cached: false,
                         key,
                         queue_wait_ms,
@@ -574,7 +821,7 @@ impl CompileService {
                     .compile_batch(&[BatchJob {
                         circuit,
                         device,
-                        compiler: chosen.as_ref(),
+                        compiler,
                     }])
                     .pop()
                     .expect("one job in, one result out");
@@ -583,14 +830,17 @@ impl CompileService {
                 match result {
                     Ok(output) => {
                         let output = Arc::new(output);
+                        self.note_compile(warm, compile_ms);
                         // Cache *before* the flight clears so a newcomer
                         // always finds the key in one of the two maps.
                         let cached = self.maybe_cache(key, &output, device);
+                        self.record_placement(stable, key, &output, device);
                         lease.publish(Ok(Arc::clone(&output)));
                         Ok(ServiceResponse {
                             output,
                             hit: false,
                             coalesced: false,
+                            warm,
                             cached,
                             key,
                             queue_wait_ms,
@@ -611,6 +861,48 @@ impl CompileService {
         }
     }
 
+    /// Accounts a successful leader compile into the warm/cold timing
+    /// counters [`StatsSnapshot::warm_speedup`] is computed from.
+    fn note_compile(&self, warm: bool, compile_ms: f64) {
+        let us = (compile_ms * 1e3) as u64;
+        if warm {
+            Stats::bump(&self.stats.warm_hits);
+            Stats::add(&self.stats.warm_compile_us, us);
+        } else {
+            Stats::bump(&self.stats.cold_compiles);
+            Stats::add(&self.stats.cold_compile_us, us);
+        }
+    }
+
+    /// Remembers a full-quality compile's initial placement under its
+    /// drift-stable key so a later [`CompileService::recompile`] against a
+    /// drifted snapshot can warm-start from it.  Degraded artifacts are
+    /// skipped (their placement may come from the trivial fallback), as are
+    /// compilers that report no placement.
+    fn record_placement(
+        &self,
+        stable: u128,
+        artifact_key: u128,
+        output: &CompiledOutput,
+        device: &Device,
+    ) {
+        if output.report.rung != DegradationRung::Full || output.initial_placement.is_empty() {
+            return;
+        }
+        self.placements
+            .lock()
+            .expect("placement index poisoned")
+            .record(
+                stable,
+                PlacementRecord {
+                    device_fingerprint: device_fingerprint(device),
+                    artifact_key,
+                    placement: output.initial_placement.clone(),
+                },
+                self.placement_capacity,
+            );
+    }
+
     fn hit_response(
         &self,
         output: Arc<CompiledOutput>,
@@ -623,6 +915,7 @@ impl CompileService {
             output,
             hit: true,
             coalesced: false,
+            warm: false,
             cached: false,
             key,
             queue_wait_ms: wall_ms,
@@ -797,18 +1090,22 @@ impl CompileService {
             let guard = self.pool.install();
             let results = self.batch.compile_batch(&jobs);
             drop(guard);
-            for (((i, key, _, lease, queue_depth), probe), result) in
+            for (((i, key, compiler, lease, queue_depth), probe), result) in
                 leaders.into_iter().zip(&probes).zip(results)
             {
                 let entry = match result {
                     Ok(output) => {
                         let output = Arc::new(output);
+                        self.note_compile(false, probe.compile_ms());
                         let cached = self.maybe_cache(key, &output, requests[i].device);
+                        let stable = stable_key(compiler, requests[i].circuit, requests[i].device);
+                        self.record_placement(stable, key, &output, requests[i].device);
                         lease.publish(Ok(Arc::clone(&output)));
                         Ok(ServiceResponse {
                             output,
                             hit: false,
                             coalesced: false,
+                            warm: false,
                             cached,
                             key,
                             queue_wait_ms: probe.started_ms(),
@@ -839,6 +1136,7 @@ impl CompileService {
                     output,
                     hit: false,
                     coalesced: true,
+                    warm: false,
                     cached: false,
                     key,
                     queue_wait_ms: ms_since(arrival),
@@ -877,6 +1175,8 @@ impl CompileService {
                 .retain(|_, e| e.device_fingerprint != fingerprint);
             dropped += before - shard.entries.len();
         }
+        Stats::bump(&self.stats.invalidations);
+        Stats::add(&self.stats.invalidated_entries, dropped as u64);
         dropped
     }
 
@@ -1064,6 +1364,14 @@ fn basis_tag(basis: TwoQubitBasis) -> u8 {
 }
 
 fn hash_device(h: &mut ContentHasher, device: &Device) {
+    hash_topology(h, device);
+    hash_target(h, device.target());
+}
+
+/// Hash of the calibration-*independent* part of a device: topology and
+/// native gate set only.  This is what stays stable across calibration
+/// drift, making it the right device component of [`stable_key`].
+fn hash_topology(h: &mut ContentHasher, device: &Device) {
     // Topology: qubit count plus the canonical sorted edge list.  The
     // display name is deliberately excluded — two identically shaped and
     // calibrated devices compile identically, so they share cache lines.
@@ -1088,7 +1396,20 @@ fn hash_device(h: &mut ContentHasher, device: &Device) {
     for &basis in bases {
         h.write_u8(basis_tag(basis));
     }
-    hash_target(h, device.target());
+}
+
+/// The *drift-stable* identity of a request: compiler fingerprint,
+/// canonical circuit and device topology + gate set — everything in
+/// [`cache_key`] **except** the calibration snapshot.  Two requests for the
+/// same workload on the same device before and after a calibration drift
+/// share this key, which is how [`CompileService::recompile`] finds the
+/// predecessor snapshot's placement to warm-start from.
+pub fn stable_key(compiler: &dyn Compiler, circuit: &Circuit, device: &Device) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write_u64(compiler.cache_fingerprint());
+    hash_circuit(&mut h, circuit);
+    hash_topology(&mut h, device);
+    h.finish()
 }
 
 /// Absorbs the complete per-edge / per-qubit calibration snapshot: any

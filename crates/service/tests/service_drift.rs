@@ -1,0 +1,181 @@
+//! Property suite of the warm-start recompilation path under calibration
+//! drift (see the "Warm-start recompilation under drift" section of the
+//! crate docs):
+//!
+//! 1. warm-start recompiles always produce **valid** hardware circuits that
+//!    pass the full equivalence battery against the original workload, at
+//!    every drift cycle,
+//! 2. a warm recompile's placement is never worse (in QAP cost) than the
+//!    seed placement it started from,
+//! 3. `recompile` against an **unchanged** target is bit-identical to the
+//!    cold compile — the cold key still matches, so the cached cold
+//!    artifact is served as a plain hit,
+//! 4. the drift-stable key ignores calibration but not topology, and the
+//!    warm path never leaks warm-derived artifacts to plain `request`s of
+//!    the cold key.
+
+use twoqan::mapping::{mapping_cost, QubitMap};
+use twoqan::{TwoQanCompiler, TwoQanConfig};
+use twoqan_circuit::Circuit;
+use twoqan_device::{Device, DriftStream};
+use twoqan_ham::{nnn_heisenberg, trotter_step};
+use twoqan_service::{bit_identical, stable_key, CompileService, ServiceConfig};
+use twoqan_verify::{verify_output, EquivalenceChecker};
+
+fn workload(n: usize, seed: u64) -> Circuit {
+    trotter_step(&nnn_heisenberg(n, seed), 1.0)
+}
+
+fn small_service() -> CompileService {
+    CompileService::new(ServiceConfig {
+        capacity: 64,
+        shards: 4,
+        threads: 1,
+        retries: 0,
+        max_in_flight: 0,
+    })
+}
+
+/// Properties 1 + 2: across several drift cycles, every warm recompile is
+/// fully valid (structural + equivalence checks) and its placement never
+/// loses to the seed placement recorded from the predecessor snapshot.
+#[test]
+fn warm_recompiles_stay_valid_and_never_lose_to_their_seed() {
+    let service = small_service();
+    let circuit = workload(9, 5);
+    let base = Device::montreal().with_heterogeneous_calibration(11);
+    let checker = EquivalenceChecker::default();
+    let compiler = TwoQanCompiler::default();
+
+    // Cold-compile the initial snapshot; its placement seeds the warm path.
+    let mut device = base.clone();
+    let cold = service.request("2QAN", &circuit, &device).unwrap();
+    assert!(cold.cached);
+    let mut seed_placement = cold.output.initial_placement.clone();
+
+    let mut stream = DriftStream::new(base.target().clone(), 21);
+    for cycle in 0..4 {
+        stream.advance();
+        let drifted = base.with_target(stream.current().clone());
+        service.invalidate_device(&device);
+        device = drifted;
+        let warm = service.recompile("2QAN", &circuit, &device).unwrap();
+        assert!(
+            warm.warm,
+            "cycle {cycle}: recompile must take the warm path"
+        );
+        assert!(!warm.hit && !warm.coalesced);
+        // Property 1: the warm artifact passes the complete check battery.
+        let case = verify_output(&compiler, &circuit, &warm.output, &device, &checker);
+        case.outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("cycle {cycle}: warm artifact failed verification: {e}"));
+        // Property 2: warm placement never worse than its seed (QAP cost on
+        // the unified circuit, which is what the mapping pass optimises).
+        let unified = circuit.unify_same_pair_gates();
+        let m = device.num_qubits();
+        let seed_cost = mapping_cost(
+            &QubitMap::from_assignment(&seed_placement, m),
+            &unified,
+            &device,
+        );
+        let warm_cost = mapping_cost(
+            &QubitMap::from_assignment(&warm.output.initial_placement, m),
+            &unified,
+            &device,
+        );
+        assert!(
+            warm_cost <= seed_cost,
+            "cycle {cycle}: warm placement cost {warm_cost} worse than seed {seed_cost}"
+        );
+        seed_placement = warm.output.initial_placement.clone();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.warm_hits, 4);
+    assert_eq!(stats.invalidations, 4);
+    assert!(stats.warm_compile_us > 0);
+}
+
+/// Property 3: when the target has *not* drifted, `recompile` is the
+/// identity of `request` — the cold key still matches and the cached cold
+/// artifact is returned bit-identically (and not marked warm).
+#[test]
+fn recompile_with_unchanged_target_is_bit_identical_to_the_cold_compile() {
+    let service = small_service();
+    let circuit = workload(8, 3);
+    let device = Device::montreal().with_heterogeneous_calibration(4);
+    let cold = service.request("2QAN", &circuit, &device).unwrap();
+    let re = service.recompile("2QAN", &circuit, &device).unwrap();
+    assert!(
+        re.hit,
+        "unchanged target must serve the cached cold artifact"
+    );
+    assert!(!re.warm);
+    assert_eq!(re.key, cold.key);
+    assert!(bit_identical(&re.output, &cold.output));
+    // Repeating the recompile still hits the same artifact.
+    let again = service.recompile("2QAN", &circuit, &device).unwrap();
+    assert!(again.hit && !again.warm);
+    assert!(bit_identical(&again.output, &cold.output));
+}
+
+/// A recompile with no recorded placement (first sight of the workload)
+/// falls back to a cold compile and seeds the index for the next cycle.
+#[test]
+fn first_recompile_of_a_workload_compiles_cold_then_warms_the_next_cycle() {
+    let service = small_service();
+    let circuit = workload(8, 9);
+    let base = Device::montreal().with_heterogeneous_calibration(2);
+    let first = service.recompile("2QAN", &circuit, &base).unwrap();
+    assert!(!first.warm && !first.hit, "no seed exists yet");
+    let mut stream = DriftStream::new(base.target().clone(), 5);
+    stream.advance();
+    let drifted = base.with_target(stream.current().clone());
+    let second = service.recompile("2QAN", &circuit, &drifted).unwrap();
+    assert!(
+        second.warm,
+        "the first recompile's placement must seed this"
+    );
+    let stats = service.stats();
+    assert_eq!((stats.warm_hits, stats.cold_compiles), (1, 1));
+    assert!(stats.warm_speedup() > 0.0);
+}
+
+/// Property 4: the drift-stable key is invariant under calibration drift
+/// but not under topology changes; and warm-derived artifacts are keyed
+/// under the warm compiler's fingerprint, so a plain `request` for the
+/// drifted device compiles cold rather than serving the warm artifact.
+#[test]
+fn stable_keys_ignore_drift_and_warm_artifacts_stay_off_the_cold_key() {
+    let circuit = workload(8, 7);
+    let base = Device::montreal().with_heterogeneous_calibration(8);
+    let compiler = TwoQanCompiler::new(TwoQanConfig::default());
+    let mut stream = DriftStream::new(base.target().clone(), 13);
+    stream.advance();
+    let drifted = base.with_target(stream.current().clone());
+    assert_eq!(
+        stable_key(&compiler, &circuit, &base),
+        stable_key(&compiler, &circuit, &drifted),
+        "calibration drift must not move the stable key"
+    );
+    assert_ne!(
+        stable_key(&compiler, &circuit, &base),
+        stable_key(&compiler, &circuit, &Device::aspen()),
+        "a different topology must move the stable key"
+    );
+
+    let service = small_service();
+    service.request("2QAN", &circuit, &base).unwrap();
+    let warm = service.recompile("2QAN", &circuit, &drifted).unwrap();
+    assert!(warm.warm);
+    // A repeat recompile of the same drifted snapshot hits the warm
+    // artifact without compiling again.
+    let repeat = service.recompile("2QAN", &circuit, &drifted).unwrap();
+    assert!(repeat.hit && repeat.warm);
+    assert!(bit_identical(&repeat.output, &warm.output));
+    // The warm artifact must not be reachable through the cold key: a plain
+    // request for the drifted device misses and compiles from scratch.
+    let plain = service.request("2QAN", &circuit, &drifted).unwrap();
+    assert!(!plain.hit, "warm artifacts must not alias the cold key");
+    assert_ne!(plain.key, warm.key);
+}
